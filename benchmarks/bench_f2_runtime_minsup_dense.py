@@ -1,0 +1,61 @@
+"""Experiment F2 — runtime vs minimum support, dense synthetic workload.
+
+Same axes as F1 on the dense workload (few labels, long sequences, heavy
+overlap). Dense data is the stress case for arrangement miners: more
+simultaneous endpoints and longer postfixes. Expected shape: the same
+miner ordering as F1, with larger absolute gaps, and the verification
+baselines degrading faster as the threshold drops.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.baselines import HDFSMiner, IEMiner, TPrefixSpanMiner
+from repro.core.ptpminer import PTPMiner
+from repro.harness.runner import ExperimentRunner, MinerSpec
+
+SUPPORTS = [0.5, 0.4, 0.3, 0.2]
+IEMINER_SUPPORTS = [0.5, 0.4]
+
+MINERS = {
+    "P-TPMiner": lambda ms: PTPMiner(ms),
+    "TPrefixSpan": lambda ms: TPrefixSpanMiner(ms),
+    "H-DFS": lambda ms: HDFSMiner(ms),
+    "IEMiner": lambda ms: IEMiner(ms),
+}
+
+_runner = ExperimentRunner("F2: runtime vs min_sup (dense)")
+
+
+@pytest.mark.parametrize("min_sup", SUPPORTS)
+@pytest.mark.parametrize("miner_name", list(MINERS))
+def test_f2_runtime(benchmark, dense_db, miner_name, min_sup):
+    if miner_name == "IEMiner" and min_sup not in IEMINER_SUPPORTS:
+        pytest.skip("IEMiner reduced grid (levelwise explosion)")
+    spec = MinerSpec(miner_name, MINERS[miner_name])
+
+    def run():
+        return _runner.run_point(dense_db, min_sup, [spec])
+
+    rows = benchmark.pedantic(run, rounds=1)
+    benchmark.extra_info["patterns"] = rows[0]["patterns"]
+
+
+def test_f2_report(benchmark, dense_db):
+    def finalize():
+        text = _runner.result.table(
+            ["miner", "min_sup", "runtime_s", "patterns",
+             "candidates_considered"]
+        )
+        text += "\n\n" + _runner.result.chart("runtime_s")
+        return text
+
+    write_report("F2_runtime_minsup_dense", benchmark.pedantic(
+        finalize, rounds=1
+    ))
+    lowest = min(SUPPORTS)
+    rows = [r for r in _runner.result.rows if r["min_sup"] == lowest]
+    ptp = next(r for r in rows if r["miner"] == "P-TPMiner")
+    for row in rows:
+        if row["miner"] != "P-TPMiner":
+            assert row["runtime_s"] > ptp["runtime_s"], row["miner"]

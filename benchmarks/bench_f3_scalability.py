@@ -1,0 +1,68 @@
+"""Experiment F3 — scalability: runtime vs database size.
+
+The scale-unit workload is replicated 1x..8x (replication preserves the
+pattern set and relative supports exactly, the standard methodology for
+this axis) and mined at a fixed relative threshold. Expected shape:
+P-TPMiner grows near-linearly in |D| — the abstract's "scalable" claim —
+while the verification baselines grow with a steeper constant
+(TPrefixSpan is included on the smaller sizes to show the diverging
+slope; the slower baselines are priced out of this axis entirely, as in
+the original evaluations).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.baselines import TPrefixSpanMiner
+from repro.core.ptpminer import PTPMiner
+from repro.harness.runner import ExperimentRunner, MinerSpec
+
+FACTORS = [1, 2, 4, 8]
+TPS_FACTORS = [1, 2, 4]
+MIN_SUP = 0.06
+
+_runner = ExperimentRunner("F3: runtime vs |D|", x_name="num_sequences")
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+@pytest.mark.parametrize("miner_name", ["P-TPMiner", "TPrefixSpan"])
+def test_f3_scalability(benchmark, scale_unit_db, miner_name, factor):
+    if miner_name == "TPrefixSpan" and factor not in TPS_FACTORS:
+        pytest.skip("TPrefixSpan reduced grid (verification cost)")
+    db = scale_unit_db.replicated(factor)
+    spec = MinerSpec(
+        miner_name,
+        (lambda _n: PTPMiner(MIN_SUP))
+        if miner_name == "P-TPMiner"
+        else (lambda _n: TPrefixSpanMiner(MIN_SUP)),
+    )
+
+    def run():
+        return _runner.run_point(db, len(db), [spec])
+
+    rows = benchmark.pedantic(run, rounds=1)
+    benchmark.extra_info["patterns"] = rows[0]["patterns"]
+
+
+def test_f3_report(benchmark, scale_unit_db):
+    def finalize():
+        text = _runner.result.table(
+            ["miner", "num_sequences", "runtime_s", "patterns"]
+        )
+        text += "\n\n" + _runner.result.chart("runtime_s", log_y=False)
+        return text
+
+    write_report("F3_scalability", benchmark.pedantic(finalize, rounds=1))
+    rows = [
+        r for r in _runner.result.rows if r["miner"] == "P-TPMiner"
+    ]
+    rows.sort(key=lambda r: r["num_sequences"])
+    # Pattern sets are size-invariant under replication.
+    assert len({r["patterns"] for r in rows}) == 1
+    # Near-linear growth, judged on the two largest sizes where timer
+    # noise is negligible: doubling the data costs at most ~3x time.
+    big, biggest = rows[-2], rows[-1]
+    ratio = biggest["num_sequences"] / big["num_sequences"]
+    assert biggest["runtime_s"] <= 1.5 * ratio * max(
+        big["runtime_s"], 0.05
+    )

@@ -1,0 +1,63 @@
+"""Experiment F6 — the second pattern type: HTP vs TP mining.
+
+On the hybrid workload (30% point events), compares (a) HTP-mode mining
+of the full data against (b) TP-mode mining of the point-stripped data.
+Expected shape: HTP mode pays a modest overhead for the extra token kind
+but discovers hybrid patterns that the pure-interval type cannot express
+— the practicability argument for the paper's type-2 patterns.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.core.ptpminer import PTPMiner
+from repro.harness.runner import ExperimentRunner, MinerSpec
+
+SUPPORTS = [0.10, 0.06]
+
+_runner = ExperimentRunner("F6: HTP vs TP")
+_results = {}
+
+
+@pytest.mark.parametrize("min_sup", SUPPORTS)
+@pytest.mark.parametrize("mode", ["htp", "tp-stripped"])
+def test_f6_modes(benchmark, hybrid_db, mode, min_sup):
+    if mode == "htp":
+        db = hybrid_db
+        spec = MinerSpec("P-TPMiner[htp]", lambda ms: PTPMiner(ms, mode="htp"))
+    else:
+        db = hybrid_db.without_point_events()
+        spec = MinerSpec("P-TPMiner[tp]", lambda ms: PTPMiner(ms, mode="tp"))
+
+    def run():
+        return _runner.run_point(db, min_sup, [spec])
+
+    rows = benchmark.pedantic(run, rounds=1)
+    if mode == "htp":
+        result = PTPMiner(min_sup, mode="htp").mine(hybrid_db)
+        _results[min_sup] = result
+    benchmark.extra_info["patterns"] = rows[0]["patterns"]
+
+
+def test_f6_report(benchmark, hybrid_db):
+    def finalize():
+        text = _runner.result.table(
+            ["miner", "min_sup", "dataset", "runtime_s", "patterns"]
+        )
+        lines = [text, "", "hybrid-only patterns at each threshold:"]
+        for min_sup, result in sorted(_results.items()):
+            hybrid_patterns = [
+                item for item in result.patterns if item.pattern.is_hybrid
+            ]
+            lines.append(
+                f"  min_sup={min_sup}: {len(hybrid_patterns)} of "
+                f"{len(result.patterns)} frequent patterns are hybrid"
+            )
+            for item in hybrid_patterns[:3]:
+                lines.append(f"    {item.support:>4}  {item.pattern}")
+        return "\n".join(lines)
+
+    write_report("F6_hybrid", benchmark.pedantic(finalize, rounds=1))
+    # Type-2 patterns exist: HTP finds patterns TP cannot express.
+    for result in _results.values():
+        assert any(item.pattern.is_hybrid for item in result.patterns)

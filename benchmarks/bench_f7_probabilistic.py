@@ -1,0 +1,87 @@
+"""Experiment F7 — the probabilistic extension.
+
+Expected-support mining over an uncertain version of the scale-unit
+workload (existence probabilities drawn deterministically per sequence)
+against deterministic mining of the same data. Expected shape: identical
+asymptotics — expected support is weighted support, so the probabilistic
+miner's runtime tracks the deterministic miner's at every threshold, and
+its pattern sets are supersets-filtered-by-expectation.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.core.probabilistic import ProbabilisticTPMiner
+from repro.core.ptpminer import PTPMiner
+from repro.harness.runner import ExperimentRunner, MinerSpec
+from repro.model.uncertain import UncertainESequenceDatabase
+
+SUPPORTS = [0.10, 0.06]
+
+_runner = ExperimentRunner("F7: probabilistic vs deterministic")
+
+
+def _uncertain(db):
+    rng = random.Random(99)
+    probs = [0.5 + 0.5 * rng.random() for _ in range(len(db))]
+    return UncertainESequenceDatabase.from_database(db, probs)
+
+
+@pytest.mark.parametrize("min_sup", SUPPORTS)
+@pytest.mark.parametrize("flavour", ["deterministic", "probabilistic"])
+def test_f7_runtime(benchmark, scale_unit_db, flavour, min_sup):
+    if flavour == "deterministic":
+        spec = MinerSpec("P-TPMiner", lambda ms: PTPMiner(ms))
+        db = scale_unit_db
+
+        def run():
+            return _runner.run_point(db, min_sup, [spec])
+
+    else:
+        udb = _uncertain(scale_unit_db)
+
+        class _Adapter:
+            """Runs at the same *absolute* threshold as the deterministic
+            miner so the expected-support set is a provable subset."""
+
+            def __init__(self, ms):
+                self._miner = ProbabilisticTPMiner(
+                    min_esup=ms * len(udb.db)
+                )
+
+            def mine(self, _db):
+                return self._miner.mine(udb)
+
+        spec = MinerSpec("P-TPMiner[prob]", _Adapter)
+
+        def run():
+            return _runner.run_point(scale_unit_db, min_sup, [spec])
+
+    rows = benchmark.pedantic(run, rounds=1)
+    benchmark.extra_info["patterns"] = rows[0]["patterns"]
+
+
+def test_f7_report(benchmark, scale_unit_db):
+    def finalize():
+        return _runner.result.table(
+            ["miner", "min_sup", "runtime_s", "patterns"]
+        )
+
+    write_report("F7_probabilistic", benchmark.pedantic(finalize, rounds=1))
+    rows = _runner.result.rows
+    for min_sup in SUPPORTS:
+        det = next(
+            r for r in rows
+            if r["miner"] == "P-TPMiner" and r["min_sup"] == min_sup
+        )
+        prob = next(
+            r for r in rows
+            if r["miner"] == "P-TPMiner[prob]" and r["min_sup"] == min_sup
+        )
+        # Same search machinery: runtimes within a small constant factor.
+        assert prob["runtime_s"] <= 3 * det["runtime_s"] + 0.2
+        # Expectation-filtering can only shrink the frequent set at equal
+        # relative thresholds (probabilities <= 1).
+        assert prob["patterns"] <= det["patterns"]

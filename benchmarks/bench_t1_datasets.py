@@ -1,0 +1,33 @@
+"""Experiment T1 — dataset statistics table.
+
+Regenerates the evaluation's dataset-characteristics table (the paper's
+"Table 1" slot): one row per workload with size, alphabet, sequence
+length, duration, point-event and duplicate-label statistics.
+"""
+
+from benchmarks.conftest import write_report
+from repro.harness.tables import render_table
+
+
+def test_t1_dataset_statistics(
+    benchmark, sparse_db, dense_db, scale_unit_db, hybrid_db, tiny_db,
+    asl_db, library_db, stock_db, clinical_db,
+):
+    databases = [
+        sparse_db, dense_db, scale_unit_db, hybrid_db, tiny_db,
+        asl_db, library_db, stock_db, clinical_db,
+    ]
+
+    def build_rows():
+        rows = []
+        for db in databases:
+            row = {"dataset": db.name}
+            row.update(db.stats().as_row())
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1)
+    table = render_table(rows, title="T1: dataset statistics")
+    write_report("T1_datasets", table)
+    assert len(rows) == 9
+    assert all(row["sequences"] > 0 for row in rows)

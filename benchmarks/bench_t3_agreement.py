@@ -1,0 +1,61 @@
+"""Experiment T3 — miner agreement (correctness cross-check table).
+
+On the small workload, all five miners (including the brute-force
+oracle) must return the identical pattern-to-support mapping. The table
+reports each miner's runtime and candidate effort at equal output — the
+sanity row the efficiency figures rest on.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.baselines import (
+    BruteForceMiner,
+    HDFSMiner,
+    IEMiner,
+    TPrefixSpanMiner,
+)
+from repro.core.ptpminer import PTPMiner
+from repro.harness.tables import render_table
+
+MIN_SUP = 0.2
+_results = {}
+
+MINERS = {
+    "P-TPMiner": lambda: PTPMiner(MIN_SUP),
+    "TPrefixSpan": lambda: TPrefixSpanMiner(MIN_SUP),
+    "H-DFS": lambda: HDFSMiner(MIN_SUP),
+    "IEMiner": lambda: IEMiner(MIN_SUP),
+    "BruteForce": lambda: BruteForceMiner(MIN_SUP),
+}
+
+
+@pytest.mark.parametrize("miner_name", list(MINERS))
+def test_t3_run_miner(benchmark, tiny_db, miner_name):
+    miner = MINERS[miner_name]()
+    result = benchmark.pedantic(lambda: miner.mine(tiny_db), rounds=1)
+    _results[miner_name] = result
+
+
+def test_t3_report(benchmark, tiny_db):
+    def finalize():
+        reference = _results["BruteForce"].as_dict()
+        rows = []
+        for name, result in _results.items():
+            rows.append(
+                {
+                    "miner": name,
+                    "patterns": len(result.patterns),
+                    "agrees_with_oracle": result.as_dict() == reference,
+                    "runtime_s": round(result.elapsed, 4),
+                    "candidates": result.counters.candidates_considered,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(finalize, rounds=1)
+    write_report(
+        "T3_agreement",
+        render_table(rows, title="T3: miner agreement (tiny workload)"),
+    )
+    assert all(row["agrees_with_oracle"] for row in rows)

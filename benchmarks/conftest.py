@@ -1,0 +1,87 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper's
+evaluation (see DESIGN.md § 4). Conventions:
+
+* every timing target is measured with ``benchmark.pedantic(rounds=1)`` —
+  the miners are deterministic and long-running, so single-shot timing is
+  both honest and affordable;
+* every experiment ends with a ``test_report_*`` item that assembles the
+  regenerated table/figure and writes it to ``benchmarks/results/<id>.txt``
+  (the artifacts EXPERIMENTS.md quotes);
+* datasets are generated once per session from the named configurations
+  in :mod:`repro.datagen.synthetic`, scaled to laptop-sized runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.datagen import (
+    generate_asl,
+    generate_clinical,
+    generate_library,
+    generate_stock,
+    standard_dataset,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(experiment_id: str, text: str) -> None:
+    """Persist a regenerated table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def sparse_db():
+    """F1/F4/F5 workload: sparse synthetic, scaled to 400 sequences."""
+    return standard_dataset("sparse", num_sequences=400)
+
+
+@pytest.fixture(scope="session")
+def dense_db():
+    """F2 workload: dense synthetic, scaled to 250 sequences."""
+    return standard_dataset("dense", num_sequences=250)
+
+
+@pytest.fixture(scope="session")
+def scale_unit_db():
+    """F3 replication unit (500 sequences)."""
+    return standard_dataset("scale-unit", num_sequences=500)
+
+
+@pytest.fixture(scope="session")
+def hybrid_db():
+    """F6 workload: 30% point events."""
+    return standard_dataset("hybrid", num_sequences=400)
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """T3 workload: small enough for the brute-force oracle."""
+    return standard_dataset("tiny")
+
+
+@pytest.fixture(scope="session")
+def asl_db():
+    return generate_asl(500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def library_db():
+    return generate_library(600, seed=31)
+
+
+@pytest.fixture(scope="session")
+def stock_db():
+    return generate_stock(500, seed=47)
+
+
+@pytest.fixture(scope="session")
+def clinical_db():
+    return generate_clinical(600, seed=59)

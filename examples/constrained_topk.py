@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Scenario: time-constrained and top-k mining on loan data.
+
+Plain temporal patterns are arrangement-only: "exam-prep meets novel"
+matches whether the two loans are adjacent weeks or adjacent years.
+The ``max_span`` constraint re-introduces duration semantics — only
+embeddings that fit a time window count — and ``mine_top_k`` answers
+the analyst's actual question ("what are the ten big behaviours?")
+without threshold guessing.
+
+Run:  python examples/constrained_topk.py
+"""
+
+import repro
+from repro.datagen import generate_library
+
+db = generate_library(1000, seed=31)
+print(f"patrons: {db}\n")
+
+# ---------------------------------------------------------------------------
+# 1. Top-k: the ten strongest multi-event behaviours, no threshold tuning.
+# ---------------------------------------------------------------------------
+top = repro.PTPMiner().mine_top_k(db, 10, min_size=2)
+print("top 10 multi-event behaviours:")
+for rank, item in enumerate(top.patterns, start=1):
+    print(f"  {rank:>2}. {item.relative_support(len(db)):6.1%}  "
+          f"{item.pattern}")
+print(f"(dynamic threshold settled at support "
+      f"{top.threshold:g}; {top.counters.candidates_frequent} "
+      f"frequent candidates explored)\n")
+
+# ---------------------------------------------------------------------------
+# 2. The same mine, constrained to a 60-day window.
+#    Semester-long nestings survive; cross-season coincidences vanish.
+# ---------------------------------------------------------------------------
+for span in (None, 120, 60, 30):
+    miner = repro.PTPMiner(min_sup=0.15, max_span=span)
+    result = miner.mine(db)
+    label = "unconstrained" if span is None else f"max_span={span}d"
+    multi = [p for p in result.patterns if p.pattern.size >= 2]
+    print(f"  {label:>16}: {len(result.patterns):>3} patterns "
+          f"({len(multi)} multi-event)")
+
+# ---------------------------------------------------------------------------
+# 3. A concrete case: the exam-crunch behaviour is a *tight* pattern —
+#    it survives a 45-day window; the semester nesting does not.
+# ---------------------------------------------------------------------------
+crunch = repro.TemporalPattern.parse(
+    "(exam-prep+) (exam-prep- novel+) (novel-)"
+)
+nested = repro.TemporalPattern.parse(
+    "(textbook+) (reference+) (reference-) (textbook-)"
+)
+tight = repro.PTPMiner(min_sup=0.05, max_span=45).mine(db).pattern_set()
+free = repro.PTPMiner(min_sup=0.05).mine(db).pattern_set()
+
+print(f"\nwith a 45-day window:")
+print(f"  exam-prep meets novel   : "
+      f"{'kept' if crunch in tight else 'dropped'}")
+print(f"  reference inside textbook: "
+      f"{'kept' if nested in tight else 'dropped'} "
+      f"(needs the whole semester)")
+assert crunch in free and nested in free
+assert crunch in tight and nested not in tight
+print("\ntime constraints separate tight behaviours from slow ones — OK")

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Quickstart: mine temporal patterns from a small clinical database.
+
+Walks the whole public API surface in five minutes:
+
+1. build an e-sequence database from raw ``(start, finish, label)`` rows;
+2. mine frequent temporal patterns with P-TPMiner;
+3. read patterns back as Allen relations;
+4. condense the result with the closed-pattern filter;
+5. save and reload everything.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import repro
+
+# ---------------------------------------------------------------------------
+# 1. A tiny clinical database: each row is one patient's event intervals.
+# ---------------------------------------------------------------------------
+patients = [
+    # fever contains rash, then a headache afterwards
+    [(0, 10, "fever"), (2, 6, "rash"), (12, 15, "headache")],
+    [(0, 8, "fever"), (3, 5, "rash"), (9, 12, "headache")],
+    [(0, 9, "fever"), (2, 7, "rash")],
+    # a different presentation: fever meets rash
+    [(0, 6, "fever"), (6, 9, "rash")],
+    # rash only
+    [(0, 4, "rash")],
+]
+db = repro.ESequenceDatabase.from_event_lists(patients, name="clinic")
+print(f"database: {db}")
+print(f"stats:    {db.stats().as_row()}\n")
+
+# ---------------------------------------------------------------------------
+# 2. Mine: patterns supported by at least 40% of patients.
+# ---------------------------------------------------------------------------
+result = repro.mine(db, min_sup=0.4)
+print(f"{result.miner} found {len(result.patterns)} patterns "
+      f"in {result.elapsed * 1000:.1f} ms "
+      f"(threshold {result.threshold:g} of {result.db_size} patients)\n")
+
+for item in result.patterns:
+    print(f"  support={item.support}  {item.pattern}")
+
+# ---------------------------------------------------------------------------
+# 3. Interpret the most interesting pattern as Allen relations.
+# ---------------------------------------------------------------------------
+nested = repro.TemporalPattern.parse("(fever+) (rash+) (rash-) (fever-)")
+print(f"\npattern {nested} reads as:")
+for line in nested.allen_description():
+    print(f"  {line}")
+print(f"supported by {nested.support_in(db)} of {len(db)} patients")
+
+# ---------------------------------------------------------------------------
+# 3b. Visualize an arrangement as a timeline.
+# ---------------------------------------------------------------------------
+from repro.harness import render_pattern
+
+print("\nthe arrangement, drawn:")
+print(render_pattern(nested, width=32, label_width=8))
+
+# ---------------------------------------------------------------------------
+# 3c. Temporal rules: how predictive is the smaller arrangement?
+# ---------------------------------------------------------------------------
+rules = repro.generate_rules(result, min_confidence=0.5)
+print("\ntemporal rules (confidence >= 0.5):")
+for rule in rules[:4]:
+    print(f"  {rule}")
+
+# ---------------------------------------------------------------------------
+# 4. Closed patterns: the lossless summary.
+# ---------------------------------------------------------------------------
+closed = repro.filter_closed(result)
+print(f"\nclosed patterns ({len(closed.patterns)} of "
+      f"{len(result.patterns)}):")
+for item in closed.patterns:
+    print(f"  support={item.support}  {item.pattern}")
+
+# ---------------------------------------------------------------------------
+# 5. Save and reload.
+# ---------------------------------------------------------------------------
+from repro.io import read_patterns, write_database, write_patterns
+
+with tempfile.TemporaryDirectory() as tmp:
+    db_path = Path(tmp) / "clinic.txt"
+    pat_path = Path(tmp) / "patterns.txt"
+    write_database(db, db_path)
+    write_patterns(closed.patterns, pat_path)
+    print(f"\nwrote {db_path.name} ({db_path.stat().st_size} bytes) and "
+          f"{pat_path.name} ({pat_path.stat().st_size} bytes)")
+    reloaded = read_patterns(pat_path)
+    assert reloaded == closed.patterns
+    print("reloaded patterns match — round trip OK")

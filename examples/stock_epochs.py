@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Scenario: co-movement and lead-lag discovery in stock epoch data.
+
+Price series are discretized into labelled epochs (maximal up/down/flat
+runs per ticker); each trading window is one e-sequence. Temporal
+patterns then read directly as market structure: EQUAL/OVERLAPS
+arrangements are co-movement, BEFORE/OVERLAPS with a lag are lead-lag,
+and opposite-direction EQUAL arrangements expose inverse products.
+
+Run:  python examples/stock_epochs.py
+"""
+
+from collections import defaultdict
+
+import repro
+from repro.datagen import generate_stock
+
+db = generate_stock(1000, seed=47)
+print(f"windows: {db}")
+print(f"stats:   {db.stats().as_row()}\n")
+
+result = repro.PTPMiner(min_sup=0.1, max_size=2).mine(db)
+print(f"{len(result.patterns)} frequent 1-2 event patterns "
+      f"({result.elapsed:.2f}s)\n")
+
+# ---------------------------------------------------------------------------
+# Classify every 2-event pattern by its Allen relation.
+# ---------------------------------------------------------------------------
+by_relation: dict[str, list] = defaultdict(list)
+for item in result.patterns:
+    if item.pattern.size != 2:
+        continue
+    (relation,) = item.pattern.allen_description()
+    kind = relation.split(" ", 2)[1]
+    by_relation[kind].append((item.support, relation))
+
+for kind in sorted(by_relation):
+    entries = sorted(by_relation[kind], reverse=True)
+    print(f"{kind} ({len(entries)} patterns):")
+    for support, relation in entries[:4]:
+        print(f"  {support:>4}  {relation}")
+    print()
+
+# ---------------------------------------------------------------------------
+# The structural findings a trader would expect.
+# ---------------------------------------------------------------------------
+print("market-structure checks:")
+
+co_move = repro.TemporalPattern.parse(
+    "(INDEX-up+ TECH1-up+) (INDEX-up- TECH1-up-)"
+)
+print(f"  TECH1 moves exactly with the index (EQUAL): "
+      f"{co_move.support_in(db)} windows")
+
+lead_lag = repro.TemporalPattern.parse(
+    "(LEAD-up+) (FOLLOW-up+) (LEAD-up-) (FOLLOW-up-)"
+)
+print(f"  LEAD's rally overlaps into FOLLOW's (lead-lag): "
+      f"{lead_lag.support_in(db)} windows")
+
+inverse = repro.TemporalPattern.parse(
+    "(INDEX-up+ VOLX-down+) (INDEX-up-) (VOLX-down-)"
+)
+hits = inverse.support_in(db)
+print(f"  volatility product falls while the index rallies: "
+      f"{hits} windows")
+
+assert co_move.support_in(db) > 0.05 * len(db)
+assert lead_lag.support_in(db) > 0.05 * len(db)
+print("\nall planted market structures were rediscovered")

@@ -1,0 +1,12 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+The offline environment ships setuptools 65 / pip 23 without `wheel`;
+PEP 660 editable builds then fail with "invalid command 'bdist_wheel'".
+With this setup.py and no [build-system] table in pyproject.toml, pip
+falls back to the legacy `setup.py develop` path, which needs neither.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — P-TPMiner: mining temporal patterns in interval-based data.
+
+A complete, production-quality reproduction of
+
+    Yi-Cheng Chen, Wen-Chih Peng, Suh-Yin Lee.
+    "Mining temporal patterns in interval-based data." ICDE 2016.
+
+The library mines frequent **temporal patterns** (arrangements of
+interval events, capturing their full pairwise Allen-relation structure)
+and **hybrid temporal patterns** (arrangements mixing interval and point
+events) from e-sequence databases, via the paper's endpoint
+representation and pruning techniques. Baseline miners (TPrefixSpan,
+IEMiner, H-DFS, brute force), workload generators, I/O formats, and a
+benchmark harness reproducing every evaluation table/figure are included.
+
+Quickstart
+----------
+>>> import repro
+>>> db = repro.ESequenceDatabase.from_event_lists(
+...     [[(0, 4, "fever"), (2, 6, "rash")],
+...      [(0, 3, "fever"), (1, 5, "rash")]]
+... )
+>>> result = repro.mine(db, min_sup=1.0)
+>>> print(result.patterns[0].pattern)
+(fever+) (fever-)
+
+See ``examples/`` for realistic scenarios and ``DESIGN.md`` for the
+architecture and experiment map.
+"""
+
+from repro.core.closed import filter_closed, filter_maximal
+from repro.core.probabilistic import ProbabilisticTPMiner
+from repro.core.pruning import PruningConfig
+from repro.core.rules import TemporalRule, generate_rules
+from repro.core.ptpminer import MiningResult, PTPMiner, mine
+from repro.model.database import DatabaseStats, ESequenceDatabase
+from repro.model.event import IntervalEvent, point_event
+from repro.model.pattern import PatternWithSupport, TemporalPattern
+from repro.model.sequence import ESequence
+from repro.model.uncertain import UncertainESequenceDatabase
+from repro.temporal.allen import AllenRelation, compose, relate, relate_general
+from repro.temporal.endpoint import Endpoint, EndpointSequence
+from repro.temporal.relation_matrix import ArrangementPattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data model
+    "IntervalEvent",
+    "point_event",
+    "ESequence",
+    "ESequenceDatabase",
+    "DatabaseStats",
+    "UncertainESequenceDatabase",
+    # temporal algebra & representations
+    "AllenRelation",
+    "relate",
+    "relate_general",
+    "compose",
+    "Endpoint",
+    "EndpointSequence",
+    "ArrangementPattern",
+    # patterns & mining
+    "TemporalPattern",
+    "PatternWithSupport",
+    "PTPMiner",
+    "ProbabilisticTPMiner",
+    "PruningConfig",
+    "MiningResult",
+    "mine",
+    "filter_closed",
+    "filter_maximal",
+    "TemporalRule",
+    "generate_rules",
+]

@@ -1,0 +1,13 @@
+"""Baseline miners the paper compares against, plus the brute-force oracle."""
+
+from repro.baselines.bruteforce import BruteForceMiner
+from repro.baselines.hdfs import HDFSMiner
+from repro.baselines.ieminer import IEMiner
+from repro.baselines.tprefixspan import TPrefixSpanMiner
+
+__all__ = [
+    "TPrefixSpanMiner",
+    "IEMiner",
+    "HDFSMiner",
+    "BruteForceMiner",
+]

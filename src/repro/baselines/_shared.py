@@ -1,0 +1,152 @@
+"""Shared machinery for the verification-based baseline miners.
+
+TPrefixSpan and H-DFS explore the *same* canonical pattern tree as
+P-TPMiner (so all miners provably enumerate the same pattern language),
+but count support by *verifying* candidate patterns with the containment
+oracle instead of maintaining incremental projection states — which is
+exactly the structural cost the paper's algorithm removes.
+
+:class:`PatternBuilder` maintains the mutable pattern prefix during their
+depth-first searches: the pointsets, occurrence numbering, the open
+(unfinished) intervals, and the canonical-generation constraints
+(I-extension token ordering and the duplicate finish rule).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.pattern import TemporalPattern
+from repro.temporal.endpoint import FINISH, POINT, START, Endpoint
+
+__all__ = ["PatternBuilder", "S_EXT", "I_EXT"]
+
+S_EXT, I_EXT = "S", "I"
+
+
+class PatternBuilder:
+    """Mutable canonical pattern prefix with push/pop extension."""
+
+    def __init__(self) -> None:
+        self.pointsets: list[list[Endpoint]] = []
+        self._next_occ: dict[str, int] = {}
+        self._open_start_ps: dict[tuple[str, int], int] = {}
+        self.num_tokens = 0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """No tokens yet."""
+        return self.num_tokens == 0
+
+    @property
+    def is_complete(self) -> bool:
+        """All started intervals are finished."""
+        return not self._open_start_ps
+
+    @property
+    def last_token(self) -> Optional[Endpoint]:
+        """The canonically largest token of the current pointset."""
+        if not self.pointsets:
+            return None
+        return self.pointsets[-1][-1]
+
+    def to_pattern(self) -> TemporalPattern:
+        """Snapshot the current prefix as an immutable pattern."""
+        return TemporalPattern(
+            (list(ps) for ps in self.pointsets), validate=False
+        )
+
+    def next_occ(self, label: str) -> int:
+        """Occurrence index a new start/point of ``label`` would get."""
+        return self._next_occ.get(label, 0) + 1
+
+    def allowed_finish(self, label: str, occ: int) -> bool:
+        """Canonical duplicate rule (close lower same-pointset occs first)."""
+        key = (label, occ)
+        if key not in self._open_start_ps:
+            return False
+        my_ps = self._open_start_ps[key]
+        return not any(
+            olabel == label and oocc < occ and ops == my_ps
+            for (olabel, oocc), ops in self._open_start_ps.items()
+        )
+
+    def feasible_tokens(
+        self,
+        labels_start: set[str],
+        labels_point: set[str],
+        ext: str,
+    ) -> list[Endpoint]:
+        """Pattern tokens appendable by the given extension type.
+
+        ``labels_start`` / ``labels_point`` bound which labels may open a
+        new interval / point occurrence (callers pass the globally or
+        locally frequent labels); finish tokens are derived from the open
+        set and the canonical rules.
+        """
+        if ext == I_EXT and self.is_empty:
+            return []
+        out: list[Endpoint] = []
+        for label in labels_start:
+            out.append(Endpoint(label, self.next_occ(label), START))
+        for label in labels_point:
+            out.append(Endpoint(label, self.next_occ(label), POINT))
+        for label, occ in self._open_start_ps:
+            if self.allowed_finish(label, occ):
+                out.append(Endpoint(label, occ, FINISH))
+        if ext == I_EXT:
+            last = self.last_token
+            assert last is not None
+            out = [tok for tok in out if tok.sort_key > last.sort_key]
+        out.sort(key=lambda tok: tok.sort_key)
+        return out
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def push(self, token: Endpoint, ext: str) -> None:
+        """Append ``token`` by S- or I-extension (caller checked feasibility)."""
+        if ext == S_EXT:
+            self.pointsets.append([token])
+        else:
+            self.pointsets[-1].append(token)
+        self.num_tokens += 1
+        key = (token.label, token.occ)
+        if token.kind == START:
+            self._next_occ[token.label] = token.occ
+            self._open_start_ps[key] = len(self.pointsets) - 1
+        elif token.kind == POINT:
+            self._next_occ[token.label] = token.occ
+        else:
+            del self._open_start_ps[key]
+
+    def pop(self, token: Endpoint, ext: str) -> None:
+        """Undo the matching :meth:`push`."""
+        key = (token.label, token.occ)
+        if token.kind == START:
+            del self._open_start_ps[key]
+            self._restore_next_occ(token)
+        elif token.kind == POINT:
+            self._restore_next_occ(token)
+        else:
+            start = Endpoint(token.label, token.occ, START)
+            for idx, ps in enumerate(self.pointsets):
+                if start in ps:
+                    self._open_start_ps[key] = idx
+                    break
+            else:  # pragma: no cover - structural invariant
+                raise AssertionError("start token missing while re-opening")
+        self.num_tokens -= 1
+        if ext == S_EXT:
+            self.pointsets.pop()
+        else:
+            self.pointsets[-1].pop()
+
+    def _restore_next_occ(self, token: Endpoint) -> None:
+        if token.occ > 1:
+            self._next_occ[token.label] = token.occ - 1
+        else:
+            del self._next_occ[token.label]

@@ -1,0 +1,108 @@
+"""Brute-force generate-and-test miner — the correctness oracle.
+
+Enumerates every sub-arrangement (subset of event occurrences) of every
+sequence, canonicalizes it into a :class:`TemporalPattern`, and counts
+exact supports in a dictionary. Exponential in sequence length, so it is
+only usable on small inputs — which is exactly its job: the test suite
+cross-checks every other miner against it, and the agreement experiment
+(bench T3) reports the comparison table.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Optional
+
+from repro.core.pruning import PruneCounters
+from repro.core.ptpminer import MiningResult
+from repro.model.database import ESequenceDatabase
+from repro.model.pattern import PatternWithSupport, TemporalPattern
+
+__all__ = ["BruteForceMiner"]
+
+
+class BruteForceMiner:
+    """Exact miner by exhaustive sub-arrangement enumeration.
+
+    Parameters
+    ----------
+    min_sup:
+        Relative support in ``(0, 1]`` or absolute count ``> 1``.
+    mode:
+        ``"tp"`` or ``"htp"`` with the same semantics as
+        :class:`~repro.core.ptpminer.PTPMiner`.
+    max_size:
+        Cap on pattern size in event occurrences; ``None`` enumerates all
+        subsets (use only on very small sequences).
+    max_span:
+        Optional time constraint matching
+        :class:`~repro.core.ptpminer.PTPMiner`'s: only sub-arrangements
+        whose events fit in a ``max_span`` time window count as
+        embeddings.
+    """
+
+    def __init__(
+        self,
+        min_sup: float = 0.1,
+        *,
+        mode: str = "tp",
+        max_size: Optional[int] = None,
+        max_span: Optional[float] = None,
+    ) -> None:
+        if mode not in ("tp", "htp"):
+            raise ValueError(f"mode must be 'tp' or 'htp', got {mode!r}")
+        self.min_sup = min_sup
+        self.mode = mode
+        self.max_size = max_size
+        self.max_span = max_span
+
+    def mine(self, db: ESequenceDatabase) -> MiningResult:
+        """Enumerate, canonicalize, count, filter."""
+        if self.mode == "tp":
+            for seq in db:
+                if seq.has_point_events:
+                    raise ValueError(
+                        "database contains point events; mine with "
+                        'mode="htp" or strip them first'
+                    )
+        started = time.perf_counter()
+        threshold = db.absolute_support(self.min_sup)
+        supporters: dict[TemporalPattern, set[int]] = {}
+        counters = PruneCounters()
+        for seq in db:
+            events = seq.events
+            top = len(events) if self.max_size is None else min(
+                self.max_size, len(events)
+            )
+            seen_here: set[TemporalPattern] = set()
+            for size in range(1, top + 1):
+                for combo in itertools.combinations(events, size):
+                    if self.max_span is not None:
+                        span = max(ev.finish for ev in combo) - min(
+                            ev.start for ev in combo
+                        )
+                        if span > self.max_span:
+                            continue
+                    pattern = TemporalPattern.from_arrangement(combo)
+                    seen_here.add(pattern)
+            counters.candidates_considered += len(seen_here)
+            for pattern in seen_here:
+                supporters.setdefault(pattern, set()).add(seq.sid)
+        patterns = [
+            PatternWithSupport(pattern, len(sids))
+            for pattern, sids in supporters.items()
+            if len(sids) >= threshold
+        ]
+        patterns.sort(key=PatternWithSupport.sort_key)
+        counters.patterns_emitted = len(patterns)
+        return MiningResult(
+            patterns=patterns,
+            threshold=float(threshold),
+            db_size=len(db),
+            elapsed=time.perf_counter() - started,
+            counters=counters,
+            miner="BruteForce",
+            params={"min_sup": self.min_sup, "mode": self.mode,
+                    "max_size": self.max_size},
+        )

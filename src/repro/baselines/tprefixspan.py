@@ -1,0 +1,199 @@
+"""TPrefixSpan-style baseline (Wu & Chen 2007, reconstructed).
+
+TPrefixSpan pioneered mining interval patterns over endpoint sequences
+with a PrefixSpan-shaped search, but its projection is *positional only*:
+it does not carry the pending/occurrence bindings P-TPMiner's states do,
+so every candidate extension must be **validated** by re-matching the
+whole candidate pattern against the supporting sequences.
+
+This reconstruction keeps that structure faithfully:
+
+* per supporting sequence it tracks the earliest pointset where a
+  *relaxed* embedding of the prefix can end (counts of ``(label, kind)``
+  tokens per pointset, no occurrence pairing) — a sound lower bound on
+  every true embedding's end;
+* candidate endpoints are read from the relaxed postfixes (a superset of
+  the truly extendable endpoints);
+* each candidate pattern's support is then counted exactly with the
+  containment oracle over the parent's supporter list.
+
+The output is therefore identical to P-TPMiner's; the runtime difference
+(benches F1-F3) is the cost of oracle validation versus incremental
+projection states.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Optional
+
+from repro.baselines._shared import I_EXT, S_EXT, PatternBuilder
+from repro.core.pruning import PruneCounters
+from repro.core.ptpminer import MiningResult
+from repro.model.database import ESequenceDatabase
+from repro.model.pattern import PatternWithSupport
+from repro.temporal.endpoint import POINT, START, EndpointSequence
+
+__all__ = ["TPrefixSpanMiner"]
+
+
+def _pointset_profile(pointset) -> Counter:
+    """Multiset of (label, kind) per pointset, for relaxed matching."""
+    return Counter((ep.label, ep.kind) for ep in pointset)
+
+
+class TPrefixSpanMiner:
+    """Endpoint-sequence miner with validation-based counting.
+
+    Parameters mirror :class:`~repro.core.ptpminer.PTPMiner` (``min_sup``,
+    ``mode``, ``max_tokens``); there are no pruning switches — the absence
+    of P-TPMiner's prunings *is* this baseline.
+    """
+
+    def __init__(
+        self,
+        min_sup: float = 0.1,
+        *,
+        mode: str = "tp",
+        max_tokens: Optional[int] = None,
+    ) -> None:
+        if mode not in ("tp", "htp"):
+            raise ValueError(f"mode must be 'tp' or 'htp', got {mode!r}")
+        self.min_sup = min_sup
+        self.mode = mode
+        self.max_tokens = max_tokens
+
+    def mine(self, db: ESequenceDatabase) -> MiningResult:
+        """Mine the full frequent pattern set of ``db``."""
+        if self.mode == "tp":
+            for seq in db:
+                if seq.has_point_events:
+                    raise ValueError(
+                        "database contains point events; mine with "
+                        'mode="htp" or strip them first'
+                    )
+        started = time.perf_counter()
+        threshold = db.absolute_support(self.min_sup)
+        counters = PruneCounters()
+        endpoint_seqs: dict[int, EndpointSequence] = {
+            seq.sid: EndpointSequence.from_esequence(seq)
+            for seq in db
+            if len(seq) > 0
+        }
+        profiles: dict[int, list[Counter]] = {
+            sid: [_pointset_profile(ps) for ps in eps]
+            for sid, eps in endpoint_seqs.items()
+        }
+        results: list[PatternWithSupport] = []
+        builder = PatternBuilder()
+
+        def relaxed_end(sid: int, pattern_profiles: list[Counter]) -> int:
+            """Earliest end pointset of a relaxed embedding, or -2."""
+            target = profiles[sid]
+            pos = -1
+            for need in pattern_profiles:
+                pos += 1
+                while pos < len(target) and any(
+                    target[pos][key] < cnt for key, cnt in need.items()
+                ):
+                    pos += 1
+                if pos >= len(target):
+                    return -2
+            return pos
+
+        def candidate_labels(
+            supporters: list[int], ends: dict[int, int], iext: bool
+        ) -> tuple[dict[str, int], dict[str, int]]:
+            """Label -> #sequences offering it in the relaxed postfix."""
+            start_df: Counter = Counter()
+            point_df: Counter = Counter()
+            # Scanning from the relaxed end (inclusive) is a sound superset
+            # for both extension types; exact counting happens at validation.
+            del iext
+            for sid in supporters:
+                seen: set[tuple[str, int]] = set()
+                for ps in endpoint_seqs[sid].pointsets[max(ends[sid], 0):]:
+                    for ep in ps:
+                        seen.add((ep.label, ep.kind))
+                for label, kind in seen:
+                    if kind == START:
+                        start_df[label] += 1
+                    elif kind == POINT:
+                        point_df[label] += 1
+            return dict(start_df), dict(point_df)
+
+        def dfs(supporters: list[int], ends: dict[int, int]) -> None:
+            counters.nodes_expanded += 1
+            if (
+                self.max_tokens is not None
+                and builder.num_tokens >= self.max_tokens
+            ):
+                return
+            for ext in (I_EXT, S_EXT):
+                start_df, point_df = candidate_labels(
+                    supporters, ends, ext == I_EXT
+                )
+                labels_start = {
+                    label
+                    for label, df in start_df.items()
+                    if df >= threshold
+                }
+                labels_point = (
+                    {
+                        label
+                        for label, df in point_df.items()
+                        if df >= threshold
+                    }
+                    if self.mode == "htp"
+                    else set()
+                )
+                for token in builder.feasible_tokens(
+                    labels_start, labels_point, ext
+                ):
+                    counters.candidates_considered += 1
+                    builder.push(token, ext)
+                    candidate = builder.to_pattern()
+                    pattern_profiles = [
+                        _pointset_profile(ps) for ps in candidate.pointsets
+                    ]
+                    new_supporters: list[int] = []
+                    new_ends: dict[int, int] = {}
+                    for sid in supporters:
+                        end = relaxed_end(sid, pattern_profiles)
+                        if end == -2:
+                            continue
+                        # Full validation: the oracle re-match that
+                        # P-TPMiner's projection states make unnecessary.
+                        if candidate.contained_in(endpoint_seqs[sid]):
+                            new_supporters.append(sid)
+                            new_ends[sid] = end
+                    if len(new_supporters) >= threshold:
+                        counters.candidates_frequent += 1
+                        if builder.is_complete:
+                            counters.patterns_emitted += 1
+                            results.append(
+                                PatternWithSupport(
+                                    candidate, len(new_supporters)
+                                )
+                            )
+                        dfs(new_supporters, new_ends)
+                    builder.pop(token, ext)
+
+        root_supporters = sorted(endpoint_seqs)
+        root_ends = {sid: -1 for sid in root_supporters}
+        dfs(root_supporters, root_ends)
+        results.sort(key=PatternWithSupport.sort_key)
+        return MiningResult(
+            patterns=results,
+            threshold=float(threshold),
+            db_size=len(db),
+            elapsed=time.perf_counter() - started,
+            counters=counters,
+            miner="TPrefixSpan",
+            params={
+                "min_sup": self.min_sup,
+                "mode": self.mode,
+                "max_tokens": self.max_tokens,
+            },
+        )

@@ -1,0 +1,255 @@
+"""Command-line interface: ``ptpminer``.
+
+Subcommands
+-----------
+``generate``
+    Produce a dataset (synthetic config or named generator) to a file.
+``mine``
+    Mine a database file with a chosen miner and print/save patterns.
+``stats``
+    Print descriptive statistics of a database file.
+
+Examples
+--------
+.. code-block:: shell
+
+    ptpminer generate --dataset sparse --out sparse.txt
+    ptpminer mine sparse.txt --min-sup 0.05 --top 20
+    ptpminer mine sparse.txt --min-sup 0.05 --miner tprefixspan --out pats.txt
+    ptpminer stats sparse.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.baselines import (
+    BruteForceMiner,
+    HDFSMiner,
+    IEMiner,
+    TPrefixSpanMiner,
+)
+from repro.core.closed import filter_closed, filter_maximal
+from repro.core.pruning import PruningConfig
+from repro.core.ptpminer import PTPMiner
+from repro.core.rules import generate_rules
+from repro.datagen import (
+    STANDARD_DATASETS,
+    generate_asl,
+    generate_clinical,
+    generate_library,
+    generate_stock,
+    standard_dataset,
+)
+from repro.harness.tables import render_table
+from repro.io import (
+    read_csv,
+    read_database,
+    read_jsonl,
+    read_spmf,
+    write_csv,
+    write_database,
+    write_jsonl,
+    write_patterns,
+    write_spmf,
+)
+
+_GENERATORS = {
+    "asl": generate_asl,
+    "clinical": generate_clinical,
+    "library": generate_library,
+    "stock": generate_stock,
+}
+
+_READERS = {
+    "text": read_database,
+    "spmf": read_spmf,
+    "jsonl": read_jsonl,
+    "csv": read_csv,
+}
+_WRITERS = {
+    "text": write_database,
+    "spmf": write_spmf,
+    "jsonl": write_jsonl,
+    "csv": write_csv,
+}
+
+
+def _infer_format(path: str, explicit: str | None) -> str:
+    if explicit:
+        return explicit
+    for suffix, fmt in ((".spmf", "spmf"), (".jsonl", "jsonl"),
+                        (".csv", "csv")):
+        if path.endswith(suffix):
+            return fmt
+    return "text"
+
+
+def _build_miner(args: argparse.Namespace):
+    pruning = PruningConfig(
+        point=not args.no_point_prune,
+        pair=not args.no_pair_prune,
+        postfix=not args.no_postfix_prune,
+    )
+    if args.miner == "ptpminer":
+        return PTPMiner(args.min_sup, mode=args.mode, pruning=pruning,
+                        max_size=args.max_size, max_span=args.max_span)
+    if args.miner == "tprefixspan":
+        return TPrefixSpanMiner(args.min_sup, mode=args.mode)
+    if args.miner == "hdfs":
+        return HDFSMiner(args.min_sup, mode=args.mode)
+    if args.miner == "ieminer":
+        return IEMiner(args.min_sup, max_size=args.max_size)
+    if args.miner == "bruteforce":
+        return BruteForceMiner(args.min_sup, mode=args.mode,
+                               max_size=args.max_size)
+    raise ValueError(f"unknown miner {args.miner!r}")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset in _GENERATORS:
+        db = _GENERATORS[args.dataset](seed=args.seed) if args.seed is not None \
+            else _GENERATORS[args.dataset]()
+    elif args.dataset in STANDARD_DATASETS:
+        overrides = {}
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.num_sequences is not None:
+            overrides["num_sequences"] = args.num_sequences
+        db = standard_dataset(args.dataset, **overrides)
+    else:
+        known = sorted(STANDARD_DATASETS) + sorted(_GENERATORS)
+        print(f"unknown dataset {args.dataset!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    fmt = _infer_format(args.out, args.format)
+    _WRITERS[fmt](db, args.out)
+    print(f"wrote {len(db)} sequences ({db.name or args.dataset}) "
+          f"to {args.out} [{fmt}]")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    fmt = _infer_format(args.input, args.format)
+    db = _READERS[fmt](args.input)
+    if args.mode == "tp":
+        stripped = db.without_point_events()
+        if len(stripped) != len(db) or any(
+            seq.has_point_events for seq in db
+        ):
+            print("note: point events stripped for tp mode "
+                  "(use --mode htp to keep them)", file=sys.stderr)
+            db = stripped
+    if args.top_k and args.miner != "ptpminer":
+        print("--top-k requires the ptpminer miner", file=sys.stderr)
+        return 2
+    miner = _build_miner(args)
+    if args.top_k:
+        result = miner.mine_top_k(db, args.top_k)
+    else:
+        result = miner.mine(db)
+    print(
+        f"{result.miner}: {len(result.patterns)} patterns "
+        f"(threshold {result.threshold:g}/{result.db_size}, "
+        f"{result.elapsed:.2f}s)"
+    )
+    shown = result.patterns[: args.top] if args.top else result.patterns
+    for item in shown:
+        print(f"{item.support:>8}  {item.pattern}")
+    if args.closed:
+        closed = filter_closed(result)
+        print(f"closed patterns: {len(closed.patterns)}")
+    if args.maximal:
+        maximal = filter_maximal(result)
+        print(f"maximal patterns: {len(maximal.patterns)}")
+    if args.rules:
+        rules = generate_rules(result, min_confidence=args.rules)
+        print(f"temporal rules (confidence >= {args.rules:g}):")
+        for rule in rules[: args.top or None]:
+            print(f"  {rule}")
+    if args.out:
+        write_patterns(result.patterns, args.out)
+        print(f"wrote {len(result.patterns)} patterns to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    fmt = _infer_format(args.input, args.format)
+    db = _READERS[fmt](args.input)
+    row = {"dataset": db.name or args.input}
+    row.update(db.stats().as_row())
+    print(render_table([row]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="ptpminer",
+        description="Mine temporal patterns in interval-based data "
+                    "(ICDE 2016 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a dataset file")
+    gen.add_argument("--dataset", required=True,
+                     help="named synthetic config or asl/clinical/library/stock")
+    gen.add_argument("--out", required=True, help="output path")
+    gen.add_argument("--format", choices=sorted(_WRITERS),
+                     help="file format (default: inferred from suffix)")
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("--num-sequences", type=int, default=None)
+    gen.set_defaults(func=_cmd_generate)
+
+    mine_p = sub.add_parser("mine", help="mine a database file")
+    mine_p.add_argument("input", help="database file")
+    mine_p.add_argument("--format", choices=sorted(_READERS))
+    mine_p.add_argument("--min-sup", type=float, default=0.1)
+    mine_p.add_argument("--mode", choices=("tp", "htp"), default="tp")
+    mine_p.add_argument(
+        "--miner",
+        choices=("ptpminer", "tprefixspan", "hdfs", "ieminer", "bruteforce"),
+        default="ptpminer",
+    )
+    mine_p.add_argument("--max-size", type=int, default=None,
+                        help="cap pattern size in events")
+    mine_p.add_argument("--max-span", type=float, default=None,
+                        help="time window constraint on embeddings "
+                             "(ptpminer only)")
+    mine_p.add_argument("--top-k", type=int, default=None,
+                        help="mine the K highest-support patterns instead "
+                             "of thresholding (ptpminer only)")
+    mine_p.add_argument("--rules", type=float, default=None,
+                        metavar="MIN_CONF",
+                        help="also derive temporal rules at this minimum "
+                             "confidence")
+    mine_p.add_argument("--top", type=int, default=25,
+                        help="print only the top-K patterns (0 = all)")
+    mine_p.add_argument("--closed", action="store_true",
+                        help="also report the closed-pattern count")
+    mine_p.add_argument("--maximal", action="store_true",
+                        help="also report the maximal-pattern count")
+    mine_p.add_argument("--out", help="write patterns to this file")
+    mine_p.add_argument("--no-point-prune", action="store_true")
+    mine_p.add_argument("--no-pair-prune", action="store_true")
+    mine_p.add_argument("--no-postfix-prune", action="store_true")
+    mine_p.set_defaults(func=_cmd_mine)
+
+    stats_p = sub.add_parser("stats", help="describe a database file")
+    stats_p.add_argument("input", help="database file")
+    stats_p.add_argument("--format", choices=sorted(_READERS))
+    stats_p.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

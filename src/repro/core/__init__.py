@@ -1,0 +1,23 @@
+"""The paper's contribution: P-TPMiner and its companions."""
+
+from repro.core.closed import filter_closed, filter_maximal
+from repro.core.counting import PairTables, symbol_document_frequency
+from repro.core.probabilistic import ProbabilisticTPMiner
+from repro.core.pruning import PruneCounters, PruningConfig
+from repro.core.ptpminer import MiningResult, PTPMiner, mine
+from repro.core.rules import TemporalRule, generate_rules
+
+__all__ = [
+    "PTPMiner",
+    "mine",
+    "MiningResult",
+    "ProbabilisticTPMiner",
+    "PruningConfig",
+    "PruneCounters",
+    "PairTables",
+    "symbol_document_frequency",
+    "filter_closed",
+    "filter_maximal",
+    "TemporalRule",
+    "generate_rules",
+]

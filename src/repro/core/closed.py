@@ -1,0 +1,89 @@
+"""Closed and maximal pattern post-filters.
+
+A frequent pattern is **closed** when no frequent super-pattern has the
+same support, and **maximal** when no frequent super-pattern exists at
+all. Both filters operate on a finished mining result using the
+pattern-subsumption order induced by
+:meth:`TemporalPattern.contained_in` (a pattern used as the containment
+target plays the role of a sequence).
+
+These are post-filters, not dedicated closed-pattern search algorithms —
+the paper mines the full frequent set, and compact summaries are a
+standard downstream convenience for its "practicability" use cases.
+"""
+
+from __future__ import annotations
+
+from repro.core.ptpminer import MiningResult
+from repro.model.pattern import PatternWithSupport
+
+__all__ = ["filter_closed", "filter_maximal"]
+
+
+def _grouped_by_size(
+    patterns: list[PatternWithSupport],
+) -> dict[int, list[PatternWithSupport]]:
+    groups: dict[int, list[PatternWithSupport]] = {}
+    for item in patterns:
+        groups.setdefault(item.pattern.num_tokens, []).append(item)
+    return groups
+
+
+def filter_closed(result: MiningResult) -> MiningResult:
+    """Keep only closed patterns (same-support super-pattern free).
+
+    Only super-patterns with strictly more tokens can subsume a pattern,
+    so candidates are compared against larger patterns with equal support
+    — supersets never have larger support by anti-monotonicity.
+    """
+    groups = _grouped_by_size(result.patterns)
+    sizes = sorted(groups)
+    kept: list[PatternWithSupport] = []
+    for size in sizes:
+        for item in groups[size]:
+            subsumed = any(
+                other.support == item.support
+                and item.pattern.contained_in(other.pattern)
+                for bigger in sizes
+                if bigger > size
+                for other in groups[bigger]
+            )
+            if not subsumed:
+                kept.append(item)
+    kept.sort(key=PatternWithSupport.sort_key)
+    return MiningResult(
+        patterns=kept,
+        threshold=result.threshold,
+        db_size=result.db_size,
+        elapsed=result.elapsed,
+        counters=result.counters,
+        miner=f"{result.miner}+closed",
+        params=dict(result.params, filter="closed"),
+    )
+
+
+def filter_maximal(result: MiningResult) -> MiningResult:
+    """Keep only maximal patterns (no frequent super-pattern at all)."""
+    groups = _grouped_by_size(result.patterns)
+    sizes = sorted(groups)
+    kept: list[PatternWithSupport] = []
+    for size in sizes:
+        for item in groups[size]:
+            subsumed = any(
+                item.pattern.contained_in(other.pattern)
+                for bigger in sizes
+                if bigger > size
+                for other in groups[bigger]
+            )
+            if not subsumed:
+                kept.append(item)
+    kept.sort(key=PatternWithSupport.sort_key)
+    return MiningResult(
+        patterns=kept,
+        threshold=result.threshold,
+        db_size=result.db_size,
+        elapsed=result.elapsed,
+        counters=result.counters,
+        miner=f"{result.miner}+maximal",
+        params=dict(result.params, filter="maximal"),
+    )

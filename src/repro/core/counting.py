@@ -1,0 +1,94 @@
+"""Support-counting primitives shared by the miners.
+
+Provides the global frequency structures computed in one pass over the
+encoded database before the search starts:
+
+* per-symbol **document frequency** (weighted, so the probabilistic miner
+  reuses the same code path with sequence weights);
+* the **pair tables** behind P-TPMiner's pair pruning — for symbols
+  ``a, b``:
+
+  - ``s_pair(a, b)``: weight of sequences where some ``a`` token occurs in
+    a strictly earlier pointset than some ``b`` token;
+  - ``i_pair(a, b)``: weight of sequences where ``a`` and ``b`` co-occur
+    inside one pointset (for ``a == b``: at least two tokens of ``a``).
+
+Both tables are *sym-level upper bounds* on pattern support: any pattern
+whose last two tokens are an ``(a, b)`` sequence-extension pair is
+contained only in sequences counted by ``s_pair(a, b)`` (occurrence
+pairing only removes embeddings, never adds them), so a candidate whose
+pair weight is below the threshold can be discarded without projection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.temporal.endpoint import EncodedDatabase
+
+__all__ = ["symbol_document_frequency", "PairTables"]
+
+
+def symbol_document_frequency(
+    encoded: EncodedDatabase, weights: Sequence[float]
+) -> dict[int, float]:
+    """Weighted number of sequences in which each symbol occurs."""
+    df: dict[int, float] = {}
+    for seq in encoded.sequences:
+        weight = weights[seq.sid]
+        seen: set[int] = set()
+        for pointset in seq.pointsets:
+            for sym, _occ in pointset:
+                seen.add(sym)
+        for sym in seen:
+            df[sym] = df.get(sym, 0.0) + weight
+    return df
+
+
+class PairTables:
+    """The S-pair / I-pair upper-bound tables used by pair pruning."""
+
+    __slots__ = ("_s_pair", "_i_pair")
+
+    def __init__(self, encoded: EncodedDatabase, weights: Sequence[float]):
+        s_pair: dict[tuple[int, int], float] = {}
+        i_pair: dict[tuple[int, int], float] = {}
+        for seq in encoded.sequences:
+            weight = weights[seq.sid]
+            first: dict[int, int] = {}
+            last: dict[int, int] = {}
+            co_occur: set[tuple[int, int]] = set()
+            for idx, pointset in enumerate(seq.pointsets):
+                syms_here = sorted({sym for sym, _ in pointset})
+                counts_here: dict[int, int] = {}
+                for sym, _ in pointset:
+                    counts_here[sym] = counts_here.get(sym, 0) + 1
+                for i, a in enumerate(syms_here):
+                    if counts_here[a] > 1:
+                        co_occur.add((a, a))
+                    for b in syms_here[i + 1 :]:
+                        co_occur.add((a, b))
+                for sym in syms_here:
+                    if sym not in first:
+                        first[sym] = idx
+                    last[sym] = idx
+            for a, fa in first.items():
+                for b, lb in last.items():
+                    if lb > fa:
+                        key = (a, b)
+                        s_pair[key] = s_pair.get(key, 0.0) + weight
+            for key in co_occur:
+                i_pair[key] = i_pair.get(key, 0.0) + weight
+        self._s_pair = s_pair
+        self._i_pair = i_pair
+
+    def s_pair(self, a: int, b: int) -> float:
+        """Upper bound on the support of any pattern placing ``b`` in a
+        pointset strictly after ``a``."""
+        return self._s_pair.get((a, b), 0.0)
+
+    def i_pair(self, a: int, b: int) -> float:
+        """Upper bound on the support of any pattern placing ``a`` and
+        ``b`` in the same pointset (symmetric; normalized internally)."""
+        key = (a, b) if a <= b else (b, a)
+        return self._i_pair.get(key, 0.0)

@@ -1,0 +1,73 @@
+"""Probabilistic temporal pattern mining (expected support).
+
+``ProbabilisticTPMiner`` mines all patterns whose *expected support* over
+an uncertain database (:class:`UncertainESequenceDatabase`, tuple-level
+uncertainty) meets a threshold. Because expected support is a weighted
+sum over supporting sequences, the miner delegates to the deterministic
+P-TPMiner search with the existence probabilities as sequence weights —
+same search tree, same prunings, same asymptotics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.pruning import PruningConfig
+from repro.core.ptpminer import MiningResult, PTPMiner
+from repro.model.uncertain import UncertainESequenceDatabase
+
+__all__ = ["ProbabilisticTPMiner"]
+
+
+class ProbabilisticTPMiner:
+    """Expected-support miner over uncertain interval databases.
+
+    Parameters
+    ----------
+    min_esup:
+        Minimum expected support: a fraction of the database's total
+        probability when in ``(0, 1]``, otherwise an absolute value.
+    mode, pruning, max_tokens, max_size:
+        As for :class:`~repro.core.ptpminer.PTPMiner`.
+
+    Examples
+    --------
+    >>> from repro.model.event import IntervalEvent
+    >>> from repro.model.sequence import ESequence
+    >>> udb = UncertainESequenceDatabase(
+    ...     [ESequence([IntervalEvent(0, 2, "A")]),
+    ...      ESequence([IntervalEvent(1, 4, "A")])],
+    ...     [0.9, 0.5],
+    ... )
+    >>> result = ProbabilisticTPMiner(min_esup=1.2).mine(udb)
+    >>> [(str(p.pattern), p.support) for p in result.patterns]
+    [('(A+) (A-)', 1.4)]
+    """
+
+    def __init__(
+        self,
+        min_esup: float = 0.1,
+        *,
+        mode: str = "tp",
+        pruning: PruningConfig = PruningConfig.all(),
+        max_tokens: Optional[int] = None,
+        max_size: Optional[int] = None,
+    ) -> None:
+        self.min_esup = min_esup
+        self._miner = PTPMiner(
+            min_sup=1.0,  # unused: mine_weighted takes the threshold directly
+            mode=mode,
+            pruning=pruning,
+            max_tokens=max_tokens,
+            max_size=max_size,
+        )
+
+    def mine(self, udb: UncertainESequenceDatabase) -> MiningResult:
+        """Mine all patterns with expected support >= the threshold."""
+        threshold = udb.expected_support_threshold(self.min_esup)
+        result = self._miner.mine_weighted(
+            udb.db, udb.probabilities, threshold
+        )
+        result.miner = "P-TPMiner(probabilistic)"
+        result.params = dict(result.params, min_esup=self.min_esup)
+        return result

@@ -1,0 +1,84 @@
+"""Projection-point machinery for P-TPMiner.
+
+P-TPMiner performs PrefixSpan-style *pseudo-projection*: instead of
+materializing projected databases, every sequence keeps a small set of
+**projection states**, each describing one way the current pattern prefix
+embeds into the sequence:
+
+``pos``
+    Index of the pointset matched by the pattern's *last* pointset
+    (``-1`` for the empty prefix).
+``pending``
+    The started-but-unfinished interval occurrences as triples
+    ``(label_id, pocc, socc)`` — which *sequence* occurrence each open
+    *pattern* occurrence is bound to. A pattern finish token can only
+    close the bound sequence occurrence, whose finish position is known in
+    O(1) from :attr:`EncodedSequence.finish_pos`.
+``used``
+    All sequence occurrences ``(label_id, socc)`` consumed by the
+    embedding so far; enforces the injectivity of the occurrence mapping.
+``window_start``
+    Timestamp of the first matched pointset; only set under a
+    ``max_span`` time constraint.
+
+Unlike classical PrefixSpan, keeping only the earliest match is *not*
+complete here: binding a start token to a different duplicate occurrence
+changes where the matching finish can appear. Each sequence therefore
+keeps all distinct states (:func:`dedupe_states`).
+
+Two structural facts keep the state sets small:
+
+* **No dominance ordering exists to exploit.** Every embedding of the
+  same prefix consumes exactly as many occurrences as the prefix
+  introduces, so two states' ``used`` sets always have equal cardinality
+  — one can never be a strict subset of another. Exact deduplication is
+  therefore all the reduction there is.
+* **Dead states are prunable.** When an embedding advances past the
+  finish position of a pending occurrence (``finish_pos <= pos``), that
+  occurrence can never be closed: the state supports no *complete*
+  descendant pattern and P-TPMiner's postfix pruning drops it at
+  projection time (see :mod:`repro.core.pruning`). Dropping it is sound
+  because every embedding of a complete pattern keeps all pending
+  finishes ahead of the frontier at every step.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+__all__ = ["State", "EMPTY_STATE", "dedupe_states"]
+
+PendingEntry = tuple[int, int, int]  # (label_id, pocc, socc)
+OccKey = tuple[int, int]  # (label_id, socc)
+
+
+class State(NamedTuple):
+    """One embedding frontier of the current prefix in one sequence."""
+
+    pos: int
+    pending: frozenset  # frozenset[PendingEntry]
+    used: frozenset  # frozenset[OccKey]
+    window_start: Optional[float] = None
+
+    def pending_socc(self, label_id: int, pocc: int) -> int | None:
+        """Sequence occurrence bound to pattern occurrence (label, pocc)."""
+        for lab, p, socc in self.pending:
+            if lab == label_id and p == pocc:
+                return socc
+        return None
+
+
+#: The root state: nothing matched yet.
+EMPTY_STATE = State(-1, frozenset(), frozenset())
+
+
+def dedupe_states(states: list[State]) -> tuple[State, ...]:
+    """Remove exact duplicate states, preserving first-seen order.
+
+    Duplicates arise when several of a state's extensions land on the
+    same frontier (e.g. two identical duplicate events). See the module
+    docstring for why subset-dominance reduction cannot apply.
+    """
+    if len(states) <= 1:
+        return tuple(states)
+    return tuple(dict.fromkeys(states))

@@ -1,0 +1,772 @@
+"""P-TPMiner: the paper's algorithm.
+
+P-TPMiner discovers the two pattern types of the paper — temporal patterns
+(``mode="tp"``) and hybrid temporal patterns (``mode="htp"``) — by a
+depth-first, PrefixSpan-style search over the endpoint representation:
+
+1. every e-sequence is losslessly converted to an endpoint sequence
+   (:mod:`repro.temporal.endpoint`), reducing interval arrangements to
+   plain sequence/itemset structure;
+2. the search grows pattern prefixes token by token, by **S-extension**
+   (open a new pointset) and **I-extension** (grow the current pointset in
+   canonical token order), so every canonical pattern is generated exactly
+   once;
+3. validity is enforced *during generation*: a finish token is only ever
+   appended when its interval is open in the prefix and the canonical
+   duplicate-numbering constraint holds — no post-hoc validation scans
+   (this is the structural advantage over TPrefixSpan);
+4. support is counted incrementally through projection states
+   (:mod:`repro.core.projection`); and
+5. three pruning techniques (:mod:`repro.core.pruning`) cut candidates
+   and branches before any projection work.
+
+Support is *weighted*: each sequence carries a weight (1.0 by default),
+and a pattern's support is the total weight of sequences containing it.
+The probabilistic extension (:mod:`repro.core.probabilistic`) reuses the
+identical search with existence probabilities as weights, so expected-
+support mining is exactly as fast as deterministic mining — the property
+bench F7 measures.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.counting import PairTables
+from repro.core.projection import EMPTY_STATE, State, dedupe_states
+from repro.core.pruning import PruneCounters, PruningConfig
+from repro.model.database import ESequenceDatabase
+from repro.model.pattern import PatternWithSupport, TemporalPattern
+from repro.model.sequence import ESequence
+from repro.temporal.endpoint import (
+    FINISH,
+    POINT,
+    START,
+    EncodedDatabase,
+    Endpoint,
+)
+
+__all__ = ["PTPMiner", "MiningResult", "mine"]
+
+_MODES = ("tp", "htp")
+
+# A candidate extension: (ext_kind, sym, pocc); ext_kind 0 = I, 1 = S.
+_Candidate = tuple[int, int, int]
+_I_EXT, _S_EXT = 0, 1
+_EPS = 1e-9
+
+
+@dataclass(slots=True)
+class MiningResult:
+    """Outcome of one mining run.
+
+    Attributes
+    ----------
+    patterns:
+        Complete frequent patterns with their supports, in the canonical
+        result order (:meth:`PatternWithSupport.sort_key`), so results of
+        different miners compare with plain ``==``.
+    threshold:
+        The absolute support threshold actually applied.
+    db_size:
+        Number of sequences mined.
+    elapsed:
+        Wall-clock seconds spent inside the miner.
+    counters:
+        Search-effort accounting (:class:`PruneCounters`).
+    miner / params:
+        Provenance for harness tables.
+    """
+
+    patterns: list[PatternWithSupport]
+    threshold: float
+    db_size: int
+    elapsed: float
+    counters: PruneCounters
+    miner: str = "P-TPMiner"
+    params: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def pattern_set(self) -> frozenset[TemporalPattern]:
+        """The bare pattern set (for cross-miner agreement checks)."""
+        return frozenset(item.pattern for item in self.patterns)
+
+    def as_dict(self) -> dict[TemporalPattern, float]:
+        """Mapping pattern -> support."""
+        return {item.pattern: item.support for item in self.patterns}
+
+    def top(self, k: int) -> list[PatternWithSupport]:
+        """The ``k`` highest-support patterns."""
+        return self.patterns[:k]
+
+
+class PTPMiner:
+    """Mine frequent temporal / hybrid temporal patterns.
+
+    Parameters
+    ----------
+    min_sup:
+        Relative support in ``(0, 1]`` or absolute count ``> 1``.
+    mode:
+        ``"tp"`` for pure interval patterns (point events are rejected —
+        strip them with
+        :meth:`~repro.model.database.ESequenceDatabase.without_point_events`
+        first), ``"htp"`` to admit point events and mine hybrid patterns.
+    pruning:
+        Which pruning techniques run (default: all three).
+    max_tokens:
+        Optional cap on pattern length in endpoint tokens.
+    max_size:
+        Optional cap on pattern size in event occurrences.
+    max_span:
+        Optional time constraint: a sequence supports a pattern only if
+        it has an embedding whose endpoints all fall within a window of
+        ``max_span`` original time units. (Plain mining is
+        arrangement-only; ``max_span`` re-introduces duration semantics
+        for domains where "A overlaps B a year apart" is meaningless.)
+
+    Examples
+    --------
+    >>> from repro.model.database import ESequenceDatabase
+    >>> db = ESequenceDatabase.from_event_lists(
+    ...     [[(0, 4, "A"), (2, 6, "B")], [(0, 3, "A"), (1, 5, "B")]]
+    ... )
+    >>> result = PTPMiner(min_sup=1.0).mine(db)
+    >>> sorted(str(p.pattern) for p in result.patterns)
+    ['(A+) (A-)', '(A+) (B+) (A-) (B-)', '(B+) (B-)']
+    """
+
+    def __init__(
+        self,
+        min_sup: float = 0.1,
+        *,
+        mode: str = "tp",
+        pruning: PruningConfig = PruningConfig.all(),
+        max_tokens: Optional[int] = None,
+        max_size: Optional[int] = None,
+        max_span: Optional[float] = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if max_tokens is not None and max_tokens < 1:
+            raise ValueError("max_tokens must be >= 1")
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        if max_span is not None and max_span < 0:
+            raise ValueError("max_span must be >= 0")
+        self.min_sup = min_sup
+        self.mode = mode
+        self.pruning = pruning
+        self.max_tokens = max_tokens
+        self.max_size = max_size
+        self.max_span = max_span
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def mine(self, db: ESequenceDatabase) -> MiningResult:
+        """Mine ``db`` with unit sequence weights."""
+        threshold = float(db.absolute_support(self.min_sup))
+        return self.mine_weighted(db, [1.0] * len(db), threshold)
+
+    def mine_weighted(
+        self,
+        db: ESequenceDatabase,
+        weights: Sequence[float],
+        threshold: float,
+    ) -> MiningResult:
+        """Mine with per-sequence weights and an absolute weight threshold.
+
+        With unit weights this is ordinary support; with existence
+        probabilities it is expected support (see
+        :mod:`repro.core.probabilistic`).
+        """
+        if len(weights) != len(db):
+            raise ValueError(
+                f"got {len(weights)} weights for {len(db)} sequences"
+            )
+        if any(w < 0 for w in weights):
+            raise ValueError("sequence weights must be non-negative")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if self.mode == "tp":
+            for seq in db:
+                if seq.has_point_events:
+                    raise ValueError(
+                        "database contains point events; mine with "
+                        'mode="htp" or strip them with '
+                        "db.without_point_events()"
+                    )
+        started = time.perf_counter()
+        counters = PruneCounters()
+        mining_db = db
+        if self.pruning.point:
+            mining_db = self._point_prune(db, weights, threshold, counters)
+        encoded = EncodedDatabase(mining_db)
+        pairs = (
+            PairTables(encoded, weights) if self.pruning.pair else None
+        )
+        patterns = self._search(
+            encoded, weights, [float(threshold)], pairs, counters
+        )
+        patterns.sort(key=PatternWithSupport.sort_key)
+        elapsed = time.perf_counter() - started
+        return MiningResult(
+            patterns=patterns,
+            threshold=threshold,
+            db_size=len(db),
+            elapsed=elapsed,
+            counters=counters,
+            miner="P-TPMiner",
+            params={
+                "min_sup": self.min_sup,
+                "mode": self.mode,
+                "pruning": self.pruning.describe(),
+                "max_tokens": self.max_tokens,
+                "max_size": self.max_size,
+                "max_span": self.max_span,
+            },
+        )
+
+    def mine_top_k(
+        self,
+        db: ESequenceDatabase,
+        k: int,
+        *,
+        min_size: int = 1,
+        min_sup: float = 1.0,
+    ) -> MiningResult:
+        """Mine the ``k`` highest-support complete patterns.
+
+        Uses dynamic threshold raising: once ``k`` qualifying patterns
+        (``size >= min_size``) are on the heap, the search threshold
+        jumps to the k-th best support, pruning everything that cannot
+        enter the top-k. Ties at the k-th support are broken by the
+        canonical result order, so the output matches the first ``k``
+        rows of an exhaustive mine.
+
+        ``min_sup`` is an absolute floor (defaults to support 1).
+        """
+        import heapq
+
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if min_size < 1:
+            raise ValueError(f"min_size must be >= 1, got {min_size}")
+        started = time.perf_counter()
+        counters = PruneCounters()
+        weights = [1.0] * len(db)
+        threshold_box = [float(min_sup)]
+        heap: list[float] = []
+
+        def on_emit(pattern: TemporalPattern, support: float) -> None:
+            if pattern.size < min_size:
+                return
+            heapq.heappush(heap, support)
+            if len(heap) > k:
+                heapq.heappop(heap)
+            if len(heap) == k:
+                threshold_box[0] = max(threshold_box[0], heap[0])
+
+        if self.mode == "tp":
+            for seq in db:
+                if seq.has_point_events:
+                    raise ValueError(
+                        "database contains point events; mine with "
+                        'mode="htp" or strip them first'
+                    )
+        mining_db = db
+        if self.pruning.point:
+            mining_db = self._point_prune(
+                db, weights, threshold_box[0], counters
+            )
+        encoded = EncodedDatabase(mining_db)
+        pairs = PairTables(encoded, weights) if self.pruning.pair else None
+        patterns = self._search(
+            encoded, weights, threshold_box, pairs, counters,
+            on_emit=on_emit,
+        )
+        qualifying = [
+            item
+            for item in patterns
+            if item.pattern.size >= min_size
+            and item.support + _EPS >= threshold_box[0]
+        ]
+        qualifying.sort(key=PatternWithSupport.sort_key)
+        result = qualifying[:k]
+        return MiningResult(
+            patterns=result,
+            threshold=threshold_box[0],
+            db_size=len(db),
+            elapsed=time.perf_counter() - started,
+            counters=counters,
+            miner="P-TPMiner(top-k)",
+            params={
+                "k": k,
+                "min_size": min_size,
+                "mode": self.mode,
+                "pruning": self.pruning.describe(),
+                "max_span": self.max_span,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # pruning 1: global point pruning
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _point_prune(
+        db: ESequenceDatabase,
+        weights: Sequence[float],
+        threshold: float,
+        counters: PruneCounters,
+    ) -> ESequenceDatabase:
+        """Delete events whose (label, flavour) cannot be frequent.
+
+        Interval and point flavours of a label are counted separately
+        because patterns reference them through different endpoint kinds.
+        Sequences are kept (possibly empty) so sids stay aligned with the
+        weight vector.
+        """
+        interval_df: dict[str, float] = {}
+        point_df: dict[str, float] = {}
+        for seq in db:
+            weight = weights[seq.sid]
+            ilabels = {ev.label for ev in seq if ev.is_interval}
+            plabels = {ev.label for ev in seq if ev.is_point}
+            for label in ilabels:
+                interval_df[label] = interval_df.get(label, 0.0) + weight
+            for label in plabels:
+                point_df[label] = point_df.get(label, 0.0) + weight
+        keep_interval = {
+            label for label, w in interval_df.items() if w + _EPS >= threshold
+        }
+        keep_point = {
+            label for label, w in point_df.items() if w + _EPS >= threshold
+        }
+        counters.pruned_point_labels = (
+            len(interval_df)
+            - len(keep_interval)
+            + len(point_df)
+            - len(keep_point)
+        )
+        if counters.pruned_point_labels == 0:
+            return db
+        filtered = [
+            ESequence(
+                (
+                    ev
+                    for ev in seq
+                    if (
+                        ev.label in keep_interval
+                        if ev.is_interval
+                        else ev.label in keep_point
+                    )
+                ),
+                sid=seq.sid,
+            )
+            for seq in db
+        ]
+        return ESequenceDatabase(filtered, name=db.name)
+
+    # ------------------------------------------------------------------
+    # the depth-first search
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        encoded: EncodedDatabase,
+        weights: Sequence[float],
+        threshold_box: list[float],
+        pairs: Optional[PairTables],
+        counters: PruneCounters,
+        on_emit=None,
+    ) -> list[PatternWithSupport]:
+        sequences = encoded.sequences
+        htp = self.mode == "htp"
+        postfix_prune = self.pruning.postfix
+        max_span = self.max_span
+        max_weight = max(weights, default=0.0)
+        results: list[PatternWithSupport] = []
+
+        # Pattern state, mutated along the DFS and restored on backtrack.
+        pointsets: list[list[tuple[int, int]]] = []
+        next_occ: dict[int, int] = {}
+        open_start_ps: dict[tuple[int, int], int] = {}  # (lab,pocc)->ps idx
+        num_tokens = 0
+        num_occurrences = 0
+
+        def allowed_finish(lab: int, pocc: int) -> bool:
+            """Canonical duplicate rule: close lower same-pointset occs first."""
+            my_ps = open_start_ps[(lab, pocc)]
+            for (olab, opocc), ops in open_start_ps.items():
+                if olab == lab and opocc < pocc and ops == my_ps:
+                    return False
+            return True
+
+        def make_pair_ok():
+            """Pair pruning: sym-level upper bounds vs pattern symbols.
+
+            The pattern's symbol sets are hoisted out here (once per
+            search node) so the per-candidate check is a few dict
+            lookups.
+            """
+            if pairs is None or not pointsets:
+                return None
+            all_syms = frozenset(s for ps in pointsets for s, _ in ps)
+            current_syms = frozenset(s for s, _ in pointsets[-1])
+            earlier_syms = frozenset(
+                s for ps in pointsets[:-1] for s, _ in ps
+            )
+            s_pair = pairs.s_pair
+            i_pair = pairs.i_pair
+
+            def pair_ok(cand: _Candidate) -> bool:
+                threshold = threshold_box[0]
+                ext, sym, _pocc = cand
+                if ext == _S_EXT:
+                    return all(
+                        s_pair(a, sym) + _EPS >= threshold for a in all_syms
+                    )
+                if not all(
+                    i_pair(a, sym) + _EPS >= threshold for a in current_syms
+                ):
+                    return False
+                return all(
+                    s_pair(a, sym) + _EPS >= threshold for a in earlier_syms
+                )
+
+            return pair_ok
+
+        def decode_pattern() -> TemporalPattern:
+            return TemporalPattern(
+                (
+                    (
+                        Endpoint(encoded.labels[sym // 3], pocc, sym % 3)
+                        for sym, pocc in ps
+                    )
+                    for ps in pointsets
+                ),
+                validate=False,
+            )
+
+        def gather_candidates(
+            proj: list[tuple[int, tuple[State, ...]]],
+            last_token: Optional[tuple[int, int]],
+        ) -> dict[_Candidate, tuple[float, list[int]]]:
+            """Phase 1: one scan yielding candidate -> (weight, sids)."""
+            weight_of: dict[_Candidate, float] = {}
+            sids_of: dict[_Candidate, list[int]] = {}
+            pair_ok = make_pair_ok()
+            # Pair pruning applies per candidate, between discovery and
+            # accumulation; the pattern-side symbol sets are hoisted in
+            # make_pair_ok() so each check is a handful of dict lookups,
+            # cached per candidate for the node.
+            pair_cache: dict[_Candidate, bool] = {}
+            for sid, states in proj:
+                seq = sequences[sid]
+                seq_pointsets = seq.pointsets
+                found: set[_Candidate] = set()
+                for st in states:
+                    pending_by_socc = {
+                        (lab, socc): pocc for lab, pocc, socc in st.pending
+                    }
+                    used = st.used
+                    pos = st.pos
+                    # --- I-extensions in the current pointset -----------
+                    if last_token is not None and pos >= 0:
+                        for sym, socc in seq_pointsets[pos]:
+                            kind = sym % 3
+                            lab = sym // 3
+                            if kind == FINISH:
+                                pocc = pending_by_socc.get((lab, socc))
+                                if pocc is None:
+                                    continue
+                                if (sym, pocc) <= last_token:
+                                    continue
+                                if not allowed_finish(lab, pocc):
+                                    continue
+                                found.add((_I_EXT, sym, pocc))
+                            elif kind == POINT and not htp:
+                                continue
+                            else:
+                                pocc = next_occ.get(lab, 0) + 1
+                                if (sym, pocc) <= last_token:
+                                    continue
+                                if (lab, socc) in used:
+                                    continue
+                                if (
+                                    max_span is not None
+                                    and kind == START
+                                    and seq.times[seq.finish_pos[(lab, socc)]]
+                                    - st.window_start
+                                    > max_span + _EPS
+                                ):
+                                    continue
+                                found.add((_I_EXT, sym, pocc))
+                    # --- S-extensions in the postfix --------------------
+                    limit = (
+                        st.window_start + max_span
+                        if max_span is not None and st.window_start is not None
+                        else None
+                    )
+                    for pos2 in range(pos + 1, len(seq_pointsets)):
+                        if limit is not None and seq.times[pos2] > limit + _EPS:
+                            break
+                        for sym, socc in seq_pointsets[pos2]:
+                            kind = sym % 3
+                            lab = sym // 3
+                            if kind == FINISH:
+                                pocc = pending_by_socc.get((lab, socc))
+                                if pocc is None:
+                                    continue
+                                if not allowed_finish(lab, pocc):
+                                    continue
+                                found.add((_S_EXT, sym, pocc))
+                            elif kind == POINT and not htp:
+                                continue
+                            else:
+                                if (lab, socc) in used:
+                                    continue
+                                if max_span is not None and kind == START:
+                                    wstart = (
+                                        st.window_start
+                                        if st.window_start is not None
+                                        else seq.times[pos2]
+                                    )
+                                    finish_time = seq.times[
+                                        seq.finish_pos[(lab, socc)]
+                                    ]
+                                    if finish_time - wstart > max_span + _EPS:
+                                        continue
+                                pocc = next_occ.get(lab, 0) + 1
+                                found.add((_S_EXT, sym, pocc))
+                weight = weights[sid]
+                for cand in found:
+                    keep = pair_cache.get(cand)
+                    if keep is None:
+                        counters.candidates_considered += 1
+                        keep = pair_ok(cand) if pair_ok is not None else True
+                        pair_cache[cand] = keep
+                        if not keep:
+                            counters.pruned_pair += 1
+                    if not keep:
+                        continue
+                    weight_of[cand] = weight_of.get(cand, 0.0) + weight
+                    sids_of.setdefault(cand, []).append(sid)
+            return {
+                cand: (weight_of[cand], sids_of[cand]) for cand in weight_of
+            }
+
+        def project(
+            proj_map: dict[int, tuple[State, ...]],
+            cand: _Candidate,
+            sids: list[int],
+        ) -> list[tuple[int, tuple[State, ...]]]:
+            """Phase 2: build the projected states for one candidate."""
+            ext, sym, pocc = cand
+            kind = sym % 3
+            lab = sym // 3
+            new_proj: list[tuple[int, tuple[State, ...]]] = []
+            for sid in sids:
+                seq = sequences[sid]
+                seq_pointsets = seq.pointsets
+                new_states: list[State] = []
+                for st in proj_map[sid]:
+                    pending_by_socc = {
+                        (l, socc): p for l, p, socc in st.pending
+                    }
+                    if ext == _I_EXT:
+                        positions = (st.pos,) if st.pos >= 0 else ()
+                        limit = None
+                    else:
+                        positions = range(st.pos + 1, len(seq_pointsets))
+                        limit = (
+                            st.window_start + max_span
+                            if max_span is not None
+                            and st.window_start is not None
+                            else None
+                        )
+                    finish_of = seq.finish_pos
+                    for pos2 in positions:
+                        if (
+                            limit is not None
+                            and seq.times[pos2] > limit + _EPS
+                        ):
+                            break
+                        if max_span is not None:
+                            wstart = (
+                                st.window_start
+                                if st.window_start is not None
+                                else seq.times[pos2]
+                            )
+                        else:
+                            wstart = None
+                        for s2, socc in seq_pointsets[pos2]:
+                            if s2 != sym:
+                                continue
+                            if kind == FINISH:
+                                if pending_by_socc.get((lab, socc)) != pocc:
+                                    continue
+                                pending = st.pending - {(lab, pocc, socc)}
+                                used = st.used
+                            else:
+                                if (lab, socc) in st.used:
+                                    continue
+                                if (
+                                    max_span is not None
+                                    and kind == START
+                                    and seq.times[finish_of[(lab, socc)]]
+                                    - wstart
+                                    > max_span + _EPS
+                                ):
+                                    continue
+                                pending = (
+                                    st.pending | {(lab, pocc, socc)}
+                                    if kind == START
+                                    else st.pending
+                                )
+                                used = st.used | {(lab, socc)}
+                            # Postfix pruning (dead-state elimination):
+                            # an embedding that moved strictly past a
+                            # pending finish can never yield a complete
+                            # pattern (a finish AT pos2 is still
+                            # reachable by I-extension).
+                            if (
+                                postfix_prune
+                                and ext == _S_EXT
+                                and pending
+                                and any(
+                                    finish_of[(plab, psocc)] < pos2
+                                    for plab, _p, psocc in pending
+                                )
+                            ):
+                                counters.pruned_dead_states += 1
+                                continue
+                            new_states.append(
+                                State(pos2, pending, used, wstart)
+                            )
+                deduped = dedupe_states(new_states)
+                counters.states_created += len(deduped)
+                if deduped:
+                    new_proj.append((sid, deduped))
+            return new_proj
+
+        def dfs(
+            proj: list[tuple[int, tuple[State, ...]]],
+            last_token: Optional[tuple[int, int]],
+        ) -> None:
+            nonlocal num_tokens, num_occurrences
+            counters.nodes_expanded += 1
+            if postfix_prune:
+                # O(1) branch bound: at most len(proj) sequences of at
+                # most max_weight each can support any descendant.
+                if len(proj) * max_weight + _EPS < threshold_box[0]:
+                    counters.pruned_postfix_branches += 1
+                    return
+            if self.max_tokens is not None and num_tokens >= self.max_tokens:
+                return
+            candidates = gather_candidates(proj, last_token)
+            proj_map = dict(proj)
+            for cand in sorted(candidates):
+                weight, sids = candidates[cand]
+                if weight + _EPS < threshold_box[0]:
+                    continue
+                ext, sym, pocc = cand
+                kind = sym % 3
+                lab = sym // 3
+                if (
+                    self.max_size is not None
+                    and kind != FINISH
+                    and num_occurrences >= self.max_size
+                ):
+                    continue
+                counters.candidates_frequent += 1
+                new_proj = project(proj_map, cand, sids)
+                # --- apply the extension to the pattern state ----------
+                if ext == _S_EXT:
+                    pointsets.append([(sym, pocc)])
+                else:
+                    pointsets[-1].append((sym, pocc))
+                num_tokens += 1
+                if kind == START:
+                    next_occ[lab] = pocc
+                    open_start_ps[(lab, pocc)] = len(pointsets) - 1
+                    num_occurrences += 1
+                elif kind == POINT:
+                    next_occ[lab] = pocc
+                    num_occurrences += 1
+                else:
+                    del open_start_ps[(lab, pocc)]
+                if not open_start_ps:
+                    counters.patterns_emitted += 1
+                    pattern = decode_pattern()
+                    results.append(
+                        PatternWithSupport(pattern, _tidy(weight))
+                    )
+                    if on_emit is not None:
+                        on_emit(pattern, weight)
+                dfs(new_proj, (sym, pocc))
+                # --- backtrack ------------------------------------------
+                if kind == START:
+                    del open_start_ps[(lab, pocc)]
+                    if pocc > 1:
+                        next_occ[lab] = pocc - 1
+                    else:
+                        del next_occ[lab]
+                    num_occurrences -= 1
+                elif kind == POINT:
+                    if pocc > 1:
+                        next_occ[lab] = pocc - 1
+                    else:
+                        del next_occ[lab]
+                    num_occurrences -= 1
+                else:
+                    # Re-open the interval: its start token is still in the
+                    # pattern (only the finish token is being retracted).
+                    open_start_ps[(lab, pocc)] = _find_start_ps(
+                        pointsets, lab * 3 + START, pocc
+                    )
+                num_tokens -= 1
+                if ext == _S_EXT:
+                    pointsets.pop()
+                else:
+                    pointsets[-1].pop()
+
+        root = [
+            (seq.sid, (EMPTY_STATE,))
+            for seq in sequences
+            if seq.pointsets and weights[seq.sid] > 0
+        ]
+        dfs(root, None)
+        return results
+
+
+def _find_start_ps(
+    pointsets: list[list[tuple[int, int]]], start_sym: int, pocc: int
+) -> int:
+    """Locate the pattern pointset holding start token (start_sym, pocc)."""
+    for idx, ps in enumerate(pointsets):
+        if (start_sym, pocc) in ps:
+            return idx
+    raise AssertionError("start token missing from pattern state")
+
+
+def _tidy(weight: float) -> float:
+    """Render integer-valued supports as ints for readable results."""
+    rounded = round(weight)
+    return rounded if abs(weight - rounded) < 1e-9 else weight
+
+
+def mine(
+    db: ESequenceDatabase,
+    min_sup: float = 0.1,
+    *,
+    mode: str = "tp",
+    **kwargs,
+) -> MiningResult:
+    """Convenience one-call API: ``mine(db, 0.05)``."""
+    return PTPMiner(min_sup, mode=mode, **kwargs).mine(db)

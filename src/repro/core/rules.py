@@ -1,0 +1,119 @@
+"""Temporal association rules over mined patterns.
+
+A frequent pattern says *what* co-occurs; a **temporal rule**
+``P => Q`` (with ``P`` contained in ``Q``) says *how predictive* the
+smaller arrangement is of the larger one:
+
+* ``confidence = sup(Q) / sup(P)`` — of the sequences exhibiting ``P``,
+  the fraction that exhibit the full arrangement ``Q``;
+* ``lift = confidence / (sup(Q \\ P-ish baseline))`` — here computed as
+  ``confidence / (sup(Q) / N)``'s classical analogue using the
+  consequent-side pattern's own frequency, flagging rules that beat the
+  base rate.
+
+Rules are generated from a finished :class:`MiningResult`: every
+(sub-pattern, super-pattern) pair in the result with one more event on
+the right-hand side forms a candidate rule, filtered by minimum
+confidence. This is the standard post-processing step the
+"practicability" use cases of the paper (clinical pathways, behaviour
+prediction) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ptpminer import MiningResult
+from repro.model.pattern import TemporalPattern
+
+__all__ = ["TemporalRule", "generate_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalRule:
+    """One rule ``antecedent => consequent`` with its statistics.
+
+    ``consequent`` is the *full* pattern (it contains the antecedent);
+    reading the rule: sequences matching ``antecedent`` go on to exhibit
+    the whole ``consequent`` arrangement with probability
+    ``confidence``.
+    """
+
+    antecedent: TemporalPattern
+    consequent: TemporalPattern
+    antecedent_support: float
+    consequent_support: float
+    db_size: int
+
+    @property
+    def confidence(self) -> float:
+        """``sup(consequent) / sup(antecedent)``."""
+        if self.antecedent_support == 0:
+            return 0.0
+        return self.consequent_support / self.antecedent_support
+
+    @property
+    def lift(self) -> float:
+        """Confidence relative to the consequent's base rate."""
+        base = self.consequent_support / self.db_size if self.db_size else 0
+        if base == 0:
+            return 0.0
+        return self.confidence / base
+
+    def __str__(self) -> str:
+        return (
+            f"{self.antecedent}  =>  {self.consequent}   "
+            f"(conf {self.confidence:.2f}, lift {self.lift:.2f})"
+        )
+
+
+def generate_rules(
+    result: MiningResult,
+    *,
+    min_confidence: float = 0.5,
+    max_rules: int | None = None,
+) -> list[TemporalRule]:
+    """Derive temporal rules from a mining result.
+
+    Considers every pair of frequent patterns where the consequent has
+    exactly one more event occurrence than the antecedent and contains
+    it — the minimal-step rules; longer implications follow by chaining.
+    Returns rules with ``confidence >= min_confidence``, sorted by
+    ``(confidence, consequent support)`` descending, deterministically.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+    by_size: dict[int, list] = {}
+    for item in result.patterns:
+        by_size.setdefault(item.pattern.size, []).append(item)
+    rules: list[TemporalRule] = []
+    for size, antecedents in sorted(by_size.items()):
+        consequents = by_size.get(size + 1, [])
+        if not consequents:
+            continue
+        for small in antecedents:
+            for big in consequents:
+                if not small.pattern.contained_in(big.pattern):
+                    continue
+                rule = TemporalRule(
+                    antecedent=small.pattern,
+                    consequent=big.pattern,
+                    antecedent_support=small.support,
+                    consequent_support=big.support,
+                    db_size=result.db_size,
+                )
+                if rule.confidence >= min_confidence:
+                    rules.append(rule)
+    rules.sort(
+        key=lambda r: (
+            -r.confidence,
+            -r.consequent_support,
+            str(r.consequent),
+            str(r.antecedent),
+        )
+    )
+    if max_rules is not None:
+        rules = rules[:max_rules]
+    return rules

@@ -1,0 +1,23 @@
+"""Workload generators: synthetic (QUEST-style) and real-data simulators."""
+
+from repro.datagen.asl import generate_asl
+from repro.datagen.clinical import generate_clinical
+from repro.datagen.library import generate_library
+from repro.datagen.stock import generate_stock
+from repro.datagen.synthetic import (
+    STANDARD_DATASETS,
+    SyntheticConfig,
+    SyntheticGenerator,
+    standard_dataset,
+)
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticGenerator",
+    "standard_dataset",
+    "STANDARD_DATASETS",
+    "generate_asl",
+    "generate_clinical",
+    "generate_library",
+    "generate_stock",
+]

@@ -1,0 +1,115 @@
+"""Clinical-pathway simulator (symptom / treatment intervals).
+
+Healthcare records are the canonical motivation for interval mining:
+symptoms persist, medications are administered over courses, and care
+quality questions are *arrangement* questions ("was the antibiotic
+course contained in the fever episode or did it lag it?"). Real EHR data
+is obviously not redistributable, so this simulator generates admissions
+with the pathway structure such datasets exhibit:
+
+* **infection pathway** — FEVER contains RASH; an ANTIBIOTIC course
+  starts during the fever and typically finishes after it
+  (overlapped-by); defervescence is MET-BY a RECOVERY observation;
+* **cardiac pathway** — CHEST-PAIN before ECG-ABNORMAL (short), then a
+  long ANTICOAGULANT course containing repeated MONITORING intervals;
+* **medication events** — BOLUS doses are point events inside infusion
+  intervals (an HTP-mode motif);
+* comorbidity noise across all admissions.
+
+One e-sequence per admission; time unit = hours.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.model.database import ESequenceDatabase
+from repro.model.event import IntervalEvent
+from repro.model.sequence import ESequence
+
+__all__ = ["generate_clinical"]
+
+_NOISE = ["headache", "nausea", "hypertension", "insomnia", "cough"]
+
+
+def generate_clinical(
+    num_admissions: int = 1000, *, seed: int = 59, point_boluses: bool = False
+) -> ESequenceDatabase:
+    """Generate ``num_admissions`` admission e-sequences.
+
+    With ``point_boluses=True``, bolus doses are included as point
+    events, making the database an HTP-mode workload.
+    """
+    rng = random.Random(seed)
+    sequences = [
+        _admission(rng, point_boluses) for _ in range(num_admissions)
+    ]
+    return ESequenceDatabase(sequences, name="clinical-sim")
+
+
+def _admission(rng: random.Random, point_boluses: bool) -> ESequence:
+    pathway = rng.choices(
+        ["infection", "cardiac", "observation"], weights=[4, 3, 3]
+    )[0]
+    events: list[IntervalEvent] = []
+
+    if pathway == "infection":
+        fever_start = rng.randint(0, 12)
+        fever_len = rng.randint(24, 72)
+        fever_end = fever_start + fever_len
+        events.append(IntervalEvent(fever_start, fever_end, "fever"))
+        if rng.random() < 0.7:
+            rash_start = fever_start + rng.randint(4, max(5, fever_len // 3))
+            events.append(
+                IntervalEvent(rash_start,
+                              min(fever_end - 2, rash_start + rng.randint(8, 24)),
+                              "rash")
+            )
+        if rng.random() < 0.85:
+            abx_start = fever_start + rng.randint(2, 12)
+            abx_end = fever_end + rng.randint(12, 48)  # course outlasts fever
+            events.append(IntervalEvent(abx_start, abx_end, "antibiotic"))
+            if point_boluses:
+                for _ in range(rng.randint(1, 3)):
+                    t = rng.randint(abx_start, abx_end)
+                    events.append(IntervalEvent(t, t, "bolus"))
+        if rng.random() < 0.6:
+            events.append(
+                IntervalEvent(fever_end, fever_end + rng.randint(12, 36),
+                              "recovery-obs")
+            )
+    elif pathway == "cardiac":
+        pain_start = rng.randint(0, 6)
+        pain_end = pain_start + rng.randint(1, 4)
+        events.append(IntervalEvent(pain_start, pain_end, "chest-pain"))
+        ecg_start = pain_end + rng.randint(0, 3)
+        events.append(
+            IntervalEvent(ecg_start, ecg_start + 1, "ecg-abnormal")
+        )
+        coag_start = ecg_start + rng.randint(1, 4)
+        coag_end = coag_start + rng.randint(48, 120)
+        events.append(
+            IntervalEvent(coag_start, coag_end, "anticoagulant")
+        )
+        cursor = coag_start + rng.randint(2, 8)
+        while cursor + 4 < coag_end and rng.random() < 0.8:
+            events.append(
+                IntervalEvent(cursor, cursor + rng.randint(1, 3),
+                              "monitoring")
+            )
+            cursor += rng.randint(8, 20)
+    else:
+        for _ in range(rng.randint(1, 3)):
+            start = rng.randint(0, 48)
+            events.append(
+                IntervalEvent(start, start + rng.randint(4, 24),
+                              rng.choice(_NOISE))
+            )
+
+    for _ in range(rng.randint(0, 2)):
+        start = rng.randint(0, 72)
+        events.append(
+            IntervalEvent(start, start + rng.randint(2, 12),
+                          rng.choice(_NOISE))
+        )
+    return ESequence(events)

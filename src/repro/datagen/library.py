@@ -1,0 +1,103 @@
+"""Library-loan history simulator.
+
+A classic application of interval mining: each patron's borrowing history
+is an e-sequence whose events are *loan intervals* labelled with the
+item's category. Real circulation data is not redistributable, so this
+simulator reproduces the structural regularities such datasets exhibit:
+
+* **course workflows** — a student borrows a TEXTBOOK for a long period
+  and, DURING it, a sequence of shorter REFERENCE loans (the pattern
+  "textbook contains reference" the practicability tables surface);
+* **exam bursts** — EXAM-PREP loans cluster before a deadline and are
+  MET-BY a RELAXATION loan (novels after exams);
+* **serial readers** — consecutive NOVEL loans that MEET (return one
+  volume, take the next);
+* background noise loans across all categories.
+
+Patron types (student / researcher / casual) mix these behaviours with
+different propensities, giving support gradients across patterns.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.model.database import ESequenceDatabase
+from repro.model.event import IntervalEvent
+from repro.model.sequence import ESequence
+
+__all__ = ["generate_library"]
+
+_CATEGORIES = [
+    "textbook", "reference", "novel", "exam-prep", "magazine",
+    "biography", "travel", "cookbook",
+]
+
+
+def generate_library(
+    num_patrons: int = 1000, *, seed: int = 31
+) -> ESequenceDatabase:
+    """Generate ``num_patrons`` borrowing histories (one year horizon)."""
+    rng = random.Random(seed)
+    sequences = [_patron(rng) for _ in range(num_patrons)]
+    return ESequenceDatabase(sequences, name="library-sim")
+
+
+def _patron(rng: random.Random) -> ESequence:
+    kind = rng.choices(
+        ["student", "researcher", "casual"], weights=[5, 2, 3]
+    )[0]
+    events: list[IntervalEvent] = []
+
+    if kind == "student":
+        term_start = rng.randint(0, 30)
+        semester = rng.randint(90, 120)
+        events.append(
+            IntervalEvent(term_start, term_start + semester, "textbook")
+        )
+        # Reference loans nested inside the textbook loan.
+        for _ in range(rng.randint(1, 3)):
+            ref_start = term_start + rng.randint(5, semester - 20)
+            events.append(
+                IntervalEvent(ref_start, ref_start + rng.randint(7, 14),
+                              "reference")
+            )
+        if rng.random() < 0.7:
+            exam_end = term_start + semester
+            prep_start = exam_end - rng.randint(14, 21)
+            events.append(IntervalEvent(prep_start, exam_end, "exam-prep"))
+            if rng.random() < 0.8:
+                events.append(
+                    IntervalEvent(exam_end, exam_end + rng.randint(10, 20),
+                                  "novel")
+                )
+    elif kind == "researcher":
+        cursor = rng.randint(0, 20)
+        for _ in range(rng.randint(2, 4)):
+            span = rng.randint(30, 60)
+            events.append(IntervalEvent(cursor, cursor + span, "reference"))
+            if rng.random() < 0.5:
+                events.append(
+                    IntervalEvent(cursor + 5, cursor + span + 10,
+                                  "biography")
+                )
+            cursor += rng.randint(20, 50)
+    else:  # casual: serial novel reading with meets-chains.
+        cursor = rng.randint(0, 60)
+        for _ in range(rng.randint(2, 5)):
+            span = rng.randint(10, 25)
+            events.append(IntervalEvent(cursor, cursor + span, "novel"))
+            cursor += span  # return and immediately borrow the next
+        if rng.random() < 0.4:
+            t = rng.randint(0, 300)
+            events.append(IntervalEvent(t, t + rng.randint(5, 10),
+                                        "magazine"))
+
+    # Background noise for everyone.
+    for _ in range(rng.randint(0, 2)):
+        t = rng.randint(0, 330)
+        events.append(
+            IntervalEvent(t, t + rng.randint(5, 20),
+                          rng.choice(_CATEGORIES))
+        )
+    return ESequence(events)

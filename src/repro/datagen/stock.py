@@ -1,0 +1,105 @@
+"""Stock-movement epoch simulator.
+
+The other standard "real" workload of the interval-mining literature:
+daily price series are discretized into labelled epochs — maximal runs of
+``<ticker>-up`` / ``<ticker>-down`` / ``<ticker>-flat`` — and each trading
+window becomes one e-sequence over the epochs of a basket of tickers.
+Actual market data is not shipped, so this simulator generates a basket
+with the co-movement structure mining should rediscover:
+
+* a market **factor**: when the factor rallies, the index ETF and most
+  tech tickers produce overlapping ``-up`` epochs (EQUAL / OVERLAPS
+  arrangements);
+* a **lead-lag** pair: the leader's epoch OVERLAPS or is BEFORE the
+  follower's matching epoch by a small lag;
+* an **inverse** asset (e.g. a volatility product) whose ``-up`` epochs
+  coincide with the factor's ``-down`` epochs;
+* idiosyncratic noise epochs on every ticker.
+
+Sequences are per-window so supports are meaningful across windows.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.model.database import ESequenceDatabase
+from repro.model.event import IntervalEvent
+from repro.model.sequence import ESequence
+
+__all__ = ["generate_stock"]
+
+_TECH = ["TECH1", "TECH2", "TECH3"]
+_LEADER, _FOLLOWER = "LEAD", "FOLLOW"
+_INDEX, _INVERSE = "INDEX", "VOLX"
+
+
+def generate_stock(
+    num_windows: int = 900, *, window_days: int = 20, seed: int = 47
+) -> ESequenceDatabase:
+    """Generate ``num_windows`` trading-window e-sequences."""
+    rng = random.Random(seed)
+    sequences = [_window(rng, window_days) for _ in range(num_windows)]
+    return ESequenceDatabase(sequences, name="stock-sim")
+
+
+def _epoch(ticker: str, direction: str, start: int, end: int) -> IntervalEvent:
+    return IntervalEvent(start, end, f"{ticker}-{direction}")
+
+
+def _window(rng: random.Random, days: int) -> ESequence:
+    events: list[IntervalEvent] = []
+    regime = rng.choices(["rally", "selloff", "chop"], weights=[3, 2, 3])[0]
+
+    if regime in ("rally", "selloff"):
+        direction = "up" if regime == "rally" else "down"
+        opposite = "down" if regime == "rally" else "up"
+        f_start = rng.randint(0, days // 3)
+        f_end = f_start + rng.randint(days // 3, (2 * days) // 3)
+        events.append(_epoch(_INDEX, direction, f_start, f_end))
+        for ticker in _TECH:
+            if rng.random() < 0.8:
+                # Exact co-movement half the time (an EQUAL arrangement
+                # with the index); otherwise small jitter produces the
+                # overlaps/contains variants.
+                if rng.random() < 0.5:
+                    jitter_s = jitter_e = 0
+                else:
+                    jitter_s = rng.randint(-1, 1)
+                    jitter_e = rng.randint(-1, 2)
+                events.append(
+                    _epoch(ticker, direction,
+                           max(0, f_start + jitter_s), f_end + jitter_e)
+                )
+        if rng.random() < 0.75:
+            events.append(_epoch(_INVERSE, opposite, f_start, f_end + 1))
+        # Lead-lag: leader's epoch precedes/overlaps the follower's.
+        if rng.random() < 0.7:
+            lead_end = f_start + rng.randint(2, 4)
+            events.append(_epoch(_LEADER, direction, f_start, lead_end))
+            lag = rng.randint(1, 3)
+            events.append(
+                _epoch(_FOLLOWER, direction, f_start + lag,
+                       lead_end + lag + 1)
+            )
+    else:
+        # Choppy window: short uncorrelated epochs.
+        for ticker in (_INDEX, *_TECH):
+            cursor = rng.randint(0, 3)
+            while cursor < days - 3 and rng.random() < 0.7:
+                span = rng.randint(2, 5)
+                events.append(
+                    _epoch(ticker, rng.choice(["up", "down", "flat"]),
+                           cursor, cursor + span)
+                )
+                cursor += span + rng.randint(1, 3)
+
+    # Idiosyncratic noise epochs.
+    for _ in range(rng.randint(0, 3)):
+        ticker = rng.choice([*_TECH, _LEADER, _FOLLOWER])
+        start = rng.randint(0, days - 3)
+        events.append(
+            _epoch(ticker, rng.choice(["up", "down", "flat"]),
+                   start, start + rng.randint(1, 4))
+        )
+    return ESequence(events)

@@ -1,0 +1,192 @@
+"""QUEST-style synthetic workload generator for interval sequences.
+
+The interval-mining literature evaluates on synthetic databases generated
+in the IBM QUEST tradition, parameterized as ``D<x>C<y>N<z>``:
+
+* ``D`` — number of e-sequences,
+* ``C`` — average events per sequence,
+* ``N`` — number of event labels,
+
+extended here (as in the papers) with ``P`` seed patterns of average
+length ``L`` that get planted into sequences, so the databases contain
+genuinely frequent non-trivial arrangements, plus knobs for duplicate
+labels, point-event mixing (for HTP workloads), and label skew.
+
+Everything is deterministic under ``seed``. The module also registers the
+named datasets the benchmark suite uses (:func:`standard_dataset`), so
+every experiment's workload is reproducible from its name alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.model.database import ESequenceDatabase
+from repro.model.event import IntervalEvent
+from repro.model.sequence import ESequence
+
+__all__ = ["SyntheticConfig", "SyntheticGenerator", "standard_dataset",
+           "STANDARD_DATASETS"]
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticConfig:
+    """All knobs of the generator (see module docstring)."""
+
+    num_sequences: int = 1000
+    avg_events: float = 8.0
+    num_labels: int = 100
+    num_patterns: int = 10
+    avg_pattern_events: float = 4.0
+    pattern_probability: float = 0.6
+    point_fraction: float = 0.0
+    label_skew: float = 1.1
+    time_horizon: int = 100
+    avg_duration: float = 10.0
+    seed: int = 42
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_sequences < 1:
+            raise ValueError("num_sequences must be >= 1")
+        if self.num_labels < 1:
+            raise ValueError("num_labels must be >= 1")
+        if not 0.0 <= self.pattern_probability <= 1.0:
+            raise ValueError("pattern_probability must be in [0, 1]")
+        if not 0.0 <= self.point_fraction <= 1.0:
+            raise ValueError("point_fraction must be in [0, 1]")
+        if self.avg_events < 1.0:
+            raise ValueError("avg_events must be >= 1")
+
+    def dataset_name(self) -> str:
+        """Canonical ``D..C..N..`` tag (or the explicit name if set)."""
+        if self.name:
+            return self.name
+        tag = (
+            f"D{self.num_sequences}"
+            f"C{self.avg_events:g}"
+            f"N{self.num_labels}"
+        )
+        if self.point_fraction > 0:
+            tag += f"P{self.point_fraction:g}"
+        return tag
+
+
+class SyntheticGenerator:
+    """Deterministic generator of :class:`ESequenceDatabase` instances."""
+
+    def __init__(self, config: SyntheticConfig) -> None:
+        self.config = config
+
+    def generate(self) -> ESequenceDatabase:
+        """Build the database described by the configuration."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        labels = [f"e{i}" for i in range(cfg.num_labels)]
+        weights = [1.0 / (i + 1) ** cfg.label_skew
+                   for i in range(cfg.num_labels)]
+        templates = [
+            self._make_template(rng, labels, weights)
+            for _ in range(cfg.num_patterns)
+        ]
+        template_weights = [1.0 / (i + 1) for i in range(len(templates))]
+        sequences = [
+            self._make_sequence(rng, labels, weights, templates,
+                                template_weights)
+            for _ in range(cfg.num_sequences)
+        ]
+        return ESequenceDatabase(sequences, name=cfg.dataset_name())
+
+    # ------------------------------------------------------------------
+    def _random_event(self, rng: random.Random, labels, weights,
+                      lo: int, hi: int) -> IntervalEvent:
+        cfg = self.config
+        label = rng.choices(labels, weights)[0]
+        start = rng.randint(lo, max(lo, hi - 1))
+        if rng.random() < cfg.point_fraction:
+            return IntervalEvent(start, start, label)
+        duration = max(1, round(rng.expovariate(1.0 / cfg.avg_duration)))
+        return IntervalEvent(start, start + duration, label)
+
+    def _make_template(self, rng, labels, weights) -> list[IntervalEvent]:
+        """A seed pattern: a small cluster of overlapping events."""
+        cfg = self.config
+        count = max(2, round(rng.gauss(cfg.avg_pattern_events, 1.0)))
+        span = max(4, int(cfg.avg_duration * 2))
+        return [
+            self._random_event(rng, labels, weights, 0, span)
+            for _ in range(count)
+        ]
+
+    def _make_sequence(self, rng, labels, weights, templates,
+                       template_weights) -> ESequence:
+        cfg = self.config
+        events: list[IntervalEvent] = []
+        if templates and rng.random() < cfg.pattern_probability:
+            template = rng.choices(templates, template_weights)[0]
+            offset = rng.randint(0, cfg.time_horizon // 2)
+            events.extend(ev.shifted(offset) for ev in template)
+        target = max(1, round(rng.gauss(cfg.avg_events, cfg.avg_events / 4)))
+        while len(events) < target:
+            events.append(
+                self._random_event(
+                    rng, labels, weights, 0, cfg.time_horizon
+                )
+            )
+        return ESequence(events)
+
+
+# ---------------------------------------------------------------------------
+# Named datasets used by the benchmark suite (experiment table T1)
+# ---------------------------------------------------------------------------
+
+#: The registry of named synthetic datasets; benches refer to these names.
+STANDARD_DATASETS: dict[str, SyntheticConfig] = {
+    # F1: sparse workload — many labels, low supports dominate.
+    "sparse": SyntheticConfig(
+        num_sequences=2000, avg_events=8, num_labels=100,
+        num_patterns=12, pattern_probability=0.5, seed=11, name="sparse",
+    ),
+    # F2: dense workload — few labels, long sequences, heavy overlap.
+    "dense": SyntheticConfig(
+        num_sequences=1000, avg_events=16, num_labels=50,
+        num_patterns=8, pattern_probability=0.7, avg_duration=20,
+        seed=13, name="dense",
+    ),
+    # F3 base unit for replication-based scalability.
+    "scale-unit": SyntheticConfig(
+        num_sequences=1000, avg_events=8, num_labels=100,
+        num_patterns=10, pattern_probability=0.5, seed=17,
+        name="scale-unit",
+    ),
+    # F6: hybrid workload with 30% point events.
+    "hybrid": SyntheticConfig(
+        num_sequences=1000, avg_events=10, num_labels=60,
+        num_patterns=10, pattern_probability=0.6, point_fraction=0.3,
+        seed=19, name="hybrid",
+    ),
+    # Small workload for the miner-agreement experiment (T3).
+    "tiny": SyntheticConfig(
+        num_sequences=60, avg_events=5, num_labels=12,
+        num_patterns=4, pattern_probability=0.6, time_horizon=30,
+        seed=23, name="tiny",
+    ),
+}
+
+
+def standard_dataset(name: str, **overrides) -> ESequenceDatabase:
+    """Generate one of the registered benchmark datasets by name.
+
+    ``overrides`` replace configuration fields (e.g.
+    ``standard_dataset("sparse", num_sequences=500)``).
+    """
+    try:
+        config = STANDARD_DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(STANDARD_DATASETS)}"
+        ) from None
+    if overrides:
+        config = replace(config, **overrides)
+    return SyntheticGenerator(config).generate()

@@ -1,0 +1,25 @@
+"""Experiment harness: measurement, sweeps, table and figure rendering."""
+
+from repro.harness.figures import ascii_chart
+from repro.harness.metrics import RunMetrics, measure
+from repro.harness.runner import (
+    ExperimentRunner,
+    MinerSpec,
+    SweepResult,
+    write_rows_csv,
+)
+from repro.harness.tables import render_table
+from repro.harness.timeline import render_pattern, render_sequence
+
+__all__ = [
+    "measure",
+    "RunMetrics",
+    "ExperimentRunner",
+    "MinerSpec",
+    "SweepResult",
+    "render_table",
+    "ascii_chart",
+    "render_sequence",
+    "render_pattern",
+    "write_rows_csv",
+]

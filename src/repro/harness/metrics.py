@@ -1,0 +1,57 @@
+"""Measurement utilities for the experiment harness.
+
+Wraps a mining call with wall-clock timing and Python-heap peak-memory
+tracking (``tracemalloc``), returning a flat :class:`RunMetrics` record
+the table/figure renderers consume. Peak memory is the *additional* bytes
+allocated during the call — the quantity the paper's memory figure plots
+(the candidate sets / projected databases), not the interpreter baseline.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["RunMetrics", "measure"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunMetrics:
+    """One measured run of a callable."""
+
+    result: Any
+    elapsed_s: float
+    peak_mem_bytes: int
+
+    @property
+    def peak_mem_mb(self) -> float:
+        """Peak additional heap in MiB."""
+        return self.peak_mem_bytes / (1024 * 1024)
+
+
+def measure(fn: Callable[[], Any], *, track_memory: bool = True) -> RunMetrics:
+    """Run ``fn`` once, measuring wall time and peak heap growth.
+
+    ``track_memory=False`` skips tracemalloc (which itself slows
+    allocation-heavy code noticeably) for pure-runtime experiments.
+    """
+    if not track_memory:
+        started = time.perf_counter()
+        result = fn()
+        return RunMetrics(result, time.perf_counter() - started, 0)
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    base, _ = tracemalloc.get_traced_memory()
+    started = time.perf_counter()
+    try:
+        result = fn()
+        elapsed = time.perf_counter() - started
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return RunMetrics(result, elapsed, max(0, peak - base))

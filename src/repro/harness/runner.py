@@ -1,0 +1,135 @@
+"""Sweep runner: execute miners over parameter grids, collect rows.
+
+The benchmark files are thin: they declare which dataset, which miners,
+and which sweep axis an experiment uses, and delegate the mechanics
+(measurement, row assembly, table + figure rendering) to
+:class:`ExperimentRunner`. Every experiment's output is also persisted as
+rows so `EXPERIMENTS.md` can quote them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.harness.figures import ascii_chart
+from repro.harness.metrics import measure
+from repro.harness.tables import render_table
+from repro.model.database import ESequenceDatabase
+
+__all__ = ["MinerSpec", "ExperimentRunner", "SweepResult", "write_rows_csv"]
+
+
+@dataclass(frozen=True, slots=True)
+class MinerSpec:
+    """A named miner factory: ``build(param)`` returns an object with
+    ``.mine(db)``; ``param`` is the current sweep value (e.g. min_sup)."""
+
+    name: str
+    build: Callable[[float], object]
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """All rows of one experiment sweep."""
+
+    experiment: str
+    x_name: str
+    rows: list[dict] = field(default_factory=list)
+
+    def series(self, y_name: str) -> dict[str, list[tuple[float, float]]]:
+        """Extract ``{miner: [(x, y), ...]}`` for charting."""
+        out: dict[str, list[tuple[float, float]]] = {}
+        for row in self.rows:
+            out.setdefault(row["miner"], []).append(
+                (row[self.x_name], row[y_name])
+            )
+        return out
+
+    def table(self, columns: Sequence[str] | None = None) -> str:
+        """Render the rows as an ASCII table."""
+        return render_table(self.rows, columns, title=self.experiment)
+
+    def chart(self, y_name: str, *, log_y: bool = True, **kwargs) -> str:
+        """Render one metric as an ASCII figure."""
+        return ascii_chart(
+            self.series(y_name),
+            title=f"{self.experiment}: {y_name} vs {self.x_name}",
+            x_label=self.x_name,
+            y_label=y_name,
+            log_y=log_y,
+            **kwargs,
+        )
+
+
+class ExperimentRunner:
+    """Run miners across a sweep of one parameter on given databases."""
+
+    def __init__(self, experiment: str, x_name: str = "min_sup") -> None:
+        self.experiment = experiment
+        self.x_name = x_name
+        self.result = SweepResult(experiment, x_name)
+
+    def run_point(
+        self,
+        db: ESequenceDatabase,
+        x_value: float,
+        miners: Iterable[MinerSpec],
+        *,
+        track_memory: bool = False,
+        extra: dict | None = None,
+    ) -> list[dict]:
+        """Run every miner at one sweep point, appending result rows."""
+        new_rows = []
+        for spec in miners:
+            miner = spec.build(x_value)
+            metrics = measure(
+                lambda m=miner: m.mine(db), track_memory=track_memory
+            )
+            mining = metrics.result
+            row = {
+                "miner": spec.name,
+                self.x_name: x_value,
+                "dataset": db.name,
+                "runtime_s": round(metrics.elapsed_s, 4),
+                "patterns": len(mining.patterns),
+            }
+            if track_memory:
+                row["peak_mem_mb"] = round(metrics.peak_mem_mb, 3)
+            row.update(mining.counters.as_dict())
+            if extra:
+                row.update(extra)
+            self.result.rows.append(row)
+            new_rows.append(row)
+        return new_rows
+
+    def sweep(
+        self,
+        db: ESequenceDatabase,
+        x_values: Sequence[float],
+        miners: Sequence[MinerSpec],
+        **kwargs,
+    ) -> SweepResult:
+        """Run the full grid ``x_values x miners`` on one database."""
+        for x_value in x_values:
+            self.run_point(db, x_value, miners, **kwargs)
+        return self.result
+
+
+def write_rows_csv(result: SweepResult, path) -> None:
+    """Export a sweep's rows as CSV (for external plotting tools).
+
+    Columns are the union of all row keys in first-seen order; missing
+    cells are left empty.
+    """
+    import csv
+
+    columns: dict[str, None] = {}
+    for row in result.rows:
+        for key in row:
+            columns.setdefault(key)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns))
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow(row)

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints every reproduced table/figure as an aligned
+ASCII table (and, for figures, an accompanying ASCII chart) so the
+regenerated numbers appear directly in the bench logs — the same rows the
+paper reports, with our measured values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any, Optional
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human formatting: 3 significant decimals for floats, str otherwise."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[dict],
+    columns: Optional[Iterable[str]] = None,
+    title: str = "",
+) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    ``columns`` fixes the column order (defaults to first-seen order
+    across all rows). Missing cells render blank.
+    """
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen)
+    else:
+        columns = list(columns)
+    header = [str(c) for c in columns]
+    body = [
+        [format_value(row.get(c, "")) for c in columns] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""ASCII timeline rendering of e-sequences and patterns.
+
+Interval data is hard to debug from triples; a timeline makes the
+arrangement obvious at a glance:
+
+.. code-block:: text
+
+    fever    |=========|
+    rash       |===|
+    headache              |==|
+             0    5    10    15
+
+:func:`render_sequence` draws a concrete e-sequence against its real
+timestamps; :func:`render_pattern` realizes a (complete) pattern on its
+canonical dense timeline. Both are used by the examples and by humans
+reading test failures.
+"""
+
+from __future__ import annotations
+
+from repro.model.pattern import TemporalPattern
+from repro.model.sequence import ESequence
+
+__all__ = ["render_sequence", "render_pattern"]
+
+
+def render_sequence(
+    seq: ESequence, *, width: int = 60, label_width: int = 12
+) -> str:
+    """Draw every event of ``seq`` as a bar on a shared time axis.
+
+    Point events render as a single ``*``. Events are listed in canonical
+    order; duplicate labels get their occurrence suffix.
+    """
+    if len(seq) == 0:
+        return "(empty e-sequence)"
+    lo, hi = seq.span
+    span = (hi - lo) or 1
+
+    def column(t: float) -> int:
+        return round((t - lo) / span * (width - 1))
+
+    lines = []
+    for event, occ in seq.occurrence_indexed():
+        name = event.label if occ == 1 else f"{event.label}#{occ}"
+        name = name[:label_width].ljust(label_width)
+        row = [" "] * width
+        c_start, c_finish = column(event.start), column(event.finish)
+        if event.is_point:
+            row[c_start] = "*"
+        else:
+            row[c_start] = "|"
+            row[c_finish] = "|"
+            for col in range(c_start + 1, c_finish):
+                row[col] = "="
+        lines.append(name + "".join(row))
+    axis = " " * label_width + f"{lo:<g}".ljust(width - len(f"{hi:g}")) + f"{hi:g}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_pattern(
+    pattern: TemporalPattern, *, width: int = 60, label_width: int = 12
+) -> str:
+    """Draw a complete pattern on its canonical dense timeline.
+
+    Raises :class:`ValueError` for incomplete patterns (they have no
+    realization to draw).
+    """
+    return render_sequence(
+        pattern.to_esequence(), width=width, label_width=label_width
+    )

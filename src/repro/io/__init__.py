@@ -1,0 +1,24 @@
+"""Serialization: native text, SPMF, JSON-lines and CSV formats."""
+
+from repro.io.csv_format import read_csv, write_csv
+from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.io.spmf import read_spmf, write_spmf
+from repro.io.text_format import (
+    read_database,
+    read_patterns,
+    write_database,
+    write_patterns,
+)
+
+__all__ = [
+    "read_database",
+    "write_database",
+    "read_patterns",
+    "write_patterns",
+    "read_spmf",
+    "write_spmf",
+    "read_jsonl",
+    "write_jsonl",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,135 @@
+"""Native text format for e-sequence databases and pattern lists.
+
+Database format — one e-sequence per line, events separated by ``;``,
+each event ``label,start,finish`` (a point event has ``start == finish``):
+
+.. code-block:: text
+
+    # name: my-dataset
+    fever,3,9;cough,5,5;rash,7,12
+    fever,0,4
+
+Lines starting with ``#`` are comments; ``# name:`` in the header names
+the database. Labels may not contain ``,``, ``;`` or newlines (enforced
+at write time). Timestamps are written as integers when integral.
+
+Pattern-list format — one pattern per line, ``support<TAB>pattern`` using
+the :meth:`TemporalPattern.__str__` syntax:
+
+.. code-block:: text
+
+    412	(A+ B+) (A-) (B-)
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+from repro.model.database import ESequenceDatabase
+from repro.model.event import IntervalEvent
+from repro.model.pattern import PatternWithSupport, TemporalPattern
+from repro.model.sequence import ESequence
+
+__all__ = [
+    "write_database",
+    "read_database",
+    "write_patterns",
+    "read_patterns",
+]
+
+_FORBIDDEN = (",", ";", "\n", "\r")
+
+
+def _format_time(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(value)
+
+
+def write_database(db: ESequenceDatabase, path: str | os.PathLike) -> None:
+    """Write ``db`` to ``path`` in the native text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if db.name:
+            handle.write(f"# name: {db.name}\n")
+        for seq in db:
+            parts = []
+            for ev in seq:
+                if any(ch in ev.label for ch in _FORBIDDEN):
+                    raise ValueError(
+                        f"label {ev.label!r} contains a reserved character"
+                    )
+                parts.append(
+                    f"{ev.label},{_format_time(ev.start)},"
+                    f"{_format_time(ev.finish)}"
+                )
+            handle.write(";".join(parts) + "\n")
+
+
+def _parse_time(text: str) -> float:
+    value = float(text)
+    return int(value) if value.is_integer() else value
+
+
+def read_database(path: str | os.PathLike) -> ESequenceDatabase:
+    """Read a database written by :func:`write_database`."""
+    name = ""
+    sequences: list[ESequence] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                sequences.append(ESequence([]))
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("name:"):
+                    name = body[len("name:"):].strip()
+                continue
+            events = []
+            for chunk in line.split(";"):
+                fields = chunk.split(",")
+                if len(fields) != 3:
+                    raise ValueError(
+                        f"{path}:{line_no}: malformed event {chunk!r}"
+                    )
+                label, start_text, finish_text = fields
+                events.append(
+                    IntervalEvent(
+                        _parse_time(start_text),
+                        _parse_time(finish_text),
+                        label,
+                    )
+                )
+            sequences.append(ESequence(events))
+    return ESequenceDatabase(sequences, name=name)
+
+
+def write_patterns(
+    patterns: Iterable[PatternWithSupport], path: str | os.PathLike
+) -> None:
+    """Write a pattern list as ``support<TAB>pattern`` lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for item in patterns:
+            handle.write(f"{item.support}\t{item.pattern}\n")
+
+
+def read_patterns(path: str | os.PathLike) -> list[PatternWithSupport]:
+    """Read a pattern list written by :func:`write_patterns`."""
+    out: list[PatternWithSupport] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            support_text, _, pattern_text = line.partition("\t")
+            if not pattern_text:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 'support<TAB>pattern'"
+                )
+            support = float(support_text)
+            support = int(support) if support.is_integer() else support
+            out.append(
+                PatternWithSupport(
+                    TemporalPattern.parse(pattern_text), support
+                )
+            )
+    return out

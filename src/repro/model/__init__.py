@@ -1,0 +1,18 @@
+"""Data model: events, e-sequences, databases, patterns, uncertainty."""
+
+from repro.model.database import DatabaseStats, ESequenceDatabase
+from repro.model.event import IntervalEvent, point_event
+from repro.model.pattern import PatternWithSupport, TemporalPattern
+from repro.model.sequence import ESequence
+from repro.model.uncertain import UncertainESequenceDatabase
+
+__all__ = [
+    "IntervalEvent",
+    "point_event",
+    "ESequence",
+    "ESequenceDatabase",
+    "DatabaseStats",
+    "TemporalPattern",
+    "PatternWithSupport",
+    "UncertainESequenceDatabase",
+]

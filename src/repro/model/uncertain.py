@@ -1,0 +1,106 @@
+"""Uncertain e-sequence databases (tuple-level uncertainty).
+
+The probabilistic reading of P-TPMiner's "P-" is covered by the classical
+*tuple uncertainty* model: each e-sequence exists independently with a
+probability ``p_i`` (e.g. the confidence of the upstream event-detection
+step that produced the sequence). Under this model a pattern's **expected
+support** over the induced possible worlds has the closed form
+
+    E[sup(P)] = sum over sequences s_i containing P of p_i
+
+so expected-support mining is exactly weighted mining — no possible-world
+enumeration is needed, and the miner's cost matches deterministic mining
+(the claim bench F7 checks). Event-level uncertainty (independent
+per-event probabilities) makes even the per-sequence containment
+probability #P-hard, which is why this library intentionally supports
+only the tractable tuple-level model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.model.database import ESequenceDatabase
+from repro.model.sequence import ESequence
+
+__all__ = ["UncertainESequenceDatabase"]
+
+
+class UncertainESequenceDatabase:
+    """An e-sequence database with per-sequence existence probabilities.
+
+    Parameters
+    ----------
+    sequences:
+        The underlying sequences (sids are densified as usual).
+    probabilities:
+        One value in ``[0, 1]`` per sequence.
+    name:
+        Optional dataset name.
+
+    Examples
+    --------
+    >>> from repro.model.event import IntervalEvent
+    >>> udb = UncertainESequenceDatabase(
+    ...     [ESequence([IntervalEvent(0, 2, "A")])], [0.8]
+    ... )
+    >>> udb.total_probability
+    0.8
+    """
+
+    __slots__ = ("db", "probabilities")
+
+    def __init__(
+        self,
+        sequences: Iterable[ESequence],
+        probabilities: Sequence[float],
+        name: str = "",
+    ) -> None:
+        self.db = ESequenceDatabase(sequences, name=name)
+        probs = tuple(float(p) for p in probabilities)
+        if len(probs) != len(self.db):
+            raise ValueError(
+                f"got {len(probs)} probabilities for {len(self.db)} sequences"
+            )
+        for p in probs:
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"existence probability {p} outside [0, 1]")
+        self.probabilities = probs
+
+    @classmethod
+    def from_database(
+        cls, db: ESequenceDatabase, probabilities: Sequence[float]
+    ) -> "UncertainESequenceDatabase":
+        """Wrap an existing database with probabilities."""
+        return cls(db.sequences, probabilities, name=db.name)
+
+    @classmethod
+    def certain(cls, db: ESequenceDatabase) -> "UncertainESequenceDatabase":
+        """All probabilities 1 — expected support equals plain support."""
+        return cls(db.sequences, [1.0] * len(db), name=db.name)
+
+    def __len__(self) -> int:
+        return len(self.db)
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainESequenceDatabase({len(self)} sequences, "
+            f"total_probability={self.total_probability:.3f})"
+        )
+
+    @property
+    def total_probability(self) -> float:
+        """Sum of existence probabilities (the maximum expected support)."""
+        return sum(self.probabilities)
+
+    def expected_support_threshold(self, min_esup: float) -> float:
+        """Convert a threshold to absolute expected-support units.
+
+        Values in ``(0, 1]`` are fractions of :attr:`total_probability`;
+        larger values are taken as absolute expected supports.
+        """
+        if min_esup <= 0:
+            raise ValueError(f"min_esup must be positive, got {min_esup}")
+        if min_esup <= 1:
+            return min_esup * self.total_probability
+        return float(min_esup)

@@ -1,0 +1,41 @@
+"""Temporal algebra: Allen relations, endpoint and matrix representations."""
+
+from repro.temporal.allen import (
+    ALL_RELATIONS,
+    BASE_RELATIONS,
+    AllenRelation,
+    compose,
+    relate,
+    relate_general,
+)
+from repro.temporal.endpoint import (
+    FINISH,
+    POINT,
+    START,
+    EncodedDatabase,
+    Endpoint,
+    EndpointSequence,
+    endpoint_sequence_of,
+)
+from repro.temporal.relation_matrix import (
+    ArrangementPattern,
+    InconsistentArrangementError,
+)
+
+__all__ = [
+    "AllenRelation",
+    "relate",
+    "relate_general",
+    "compose",
+    "ALL_RELATIONS",
+    "BASE_RELATIONS",
+    "Endpoint",
+    "EndpointSequence",
+    "EncodedDatabase",
+    "endpoint_sequence_of",
+    "START",
+    "FINISH",
+    "POINT",
+    "ArrangementPattern",
+    "InconsistentArrangementError",
+]

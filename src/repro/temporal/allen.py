@@ -1,0 +1,223 @@
+"""Allen's interval algebra.
+
+Allen (1983) classifies the relative position of two proper intervals
+``A = [a.s, a.f]`` and ``B = [b.s, b.f]`` (with ``s < f``) into exactly one
+of **13 relations**: six base relations, their six inverses, and ``EQUAL``.
+This module provides:
+
+* :class:`AllenRelation` — the 13-relation enumeration with inverses;
+* :func:`relate` — classify a pair of :class:`IntervalEvent` objects;
+* :func:`compose` — the composition table ``R1 ; R2`` (which relations are
+  possible between ``A`` and ``C`` given ``rel(A,B)=R1`` and
+  ``rel(B,C)=R2``), derived *computationally* from the endpoint-order
+  semantics rather than hand-transcribed, so it is correct by construction
+  and verified by property tests;
+* point-event aware classification via :func:`relate_general`, which the
+  hybrid (HTP) pattern type needs.
+
+The mining algorithms themselves never enumerate Allen relations — that is
+the point of the endpoint representation — but the relation-matrix baseline
+(IEMiner) and the pattern-interpretation utilities are built on this module.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from functools import lru_cache
+
+from repro.model.event import IntervalEvent
+
+__all__ = [
+    "AllenRelation",
+    "relate",
+    "relate_general",
+    "compose",
+    "BASE_RELATIONS",
+    "ALL_RELATIONS",
+]
+
+
+class AllenRelation(enum.Enum):
+    """The 13 Allen relations. Values are stable short codes."""
+
+    BEFORE = "b"
+    MEETS = "m"
+    OVERLAPS = "o"
+    STARTS = "s"
+    DURING = "d"
+    FINISHES = "f"
+    EQUAL = "e"
+    AFTER = "bi"
+    MET_BY = "mi"
+    OVERLAPPED_BY = "oi"
+    STARTED_BY = "si"
+    CONTAINS = "di"
+    FINISHED_BY = "fi"
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        """The relation of ``(B, A)`` given this relation for ``(A, B)``."""
+        return _INVERSES[self]
+
+    @property
+    def is_base(self) -> bool:
+        """``True`` for the six base relations and ``EQUAL``."""
+        return self in BASE_RELATIONS or self is AllenRelation.EQUAL
+
+    def describe(self) -> str:
+        """Human-readable lowercase name, e.g. ``"overlapped-by"``."""
+        return self.name.lower().replace("_", "-")
+
+
+_INVERSES = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.EQUAL: AllenRelation.EQUAL,
+}
+
+#: The six base relations (the "forward" half of the algebra).
+BASE_RELATIONS: tuple[AllenRelation, ...] = (
+    AllenRelation.BEFORE,
+    AllenRelation.MEETS,
+    AllenRelation.OVERLAPS,
+    AllenRelation.STARTS,
+    AllenRelation.DURING,
+    AllenRelation.FINISHES,
+)
+
+#: All thirteen relations in a stable order.
+ALL_RELATIONS: tuple[AllenRelation, ...] = tuple(AllenRelation)
+
+
+def _relate_endpoints(
+    a_s: float, a_f: float, b_s: float, b_f: float
+) -> AllenRelation:
+    """Classify two proper intervals given raw endpoints."""
+    if a_f < b_s:
+        return AllenRelation.BEFORE
+    if b_f < a_s:
+        return AllenRelation.AFTER
+    if a_f == b_s:
+        return AllenRelation.MEETS
+    if b_f == a_s:
+        return AllenRelation.MET_BY
+    if a_s == b_s:
+        if a_f == b_f:
+            return AllenRelation.EQUAL
+        return AllenRelation.STARTS if a_f < b_f else AllenRelation.STARTED_BY
+    if a_f == b_f:
+        return AllenRelation.FINISHES if a_s > b_s else AllenRelation.FINISHED_BY
+    if a_s < b_s:
+        if a_f > b_f:
+            return AllenRelation.CONTAINS
+        return AllenRelation.OVERLAPS
+    # a_s > b_s from here on
+    if a_f < b_f:
+        return AllenRelation.DURING
+    return AllenRelation.OVERLAPPED_BY
+
+
+def relate(a: IntervalEvent, b: IntervalEvent) -> AllenRelation:
+    """Return the Allen relation of proper intervals ``a`` and ``b``.
+
+    Raises :class:`ValueError` if either event is a point event — the
+    classical algebra is defined on proper intervals only; use
+    :func:`relate_general` when point events may occur.
+    """
+    if a.is_point or b.is_point:
+        raise ValueError(
+            "Allen relations are defined on proper intervals; "
+            "use relate_general() for point events"
+        )
+    return _relate_endpoints(a.start, a.finish, b.start, b.finish)
+
+
+def relate_general(a: IntervalEvent, b: IntervalEvent) -> AllenRelation:
+    """Allen-style classification extended to point events.
+
+    A point event at ``t`` is treated as the degenerate interval
+    ``[t, t]``; the conventions follow the endpoint representation (where
+    a point contributes one token that may share a pointset with interval
+    endpoints): a point at an interval's start is ``STARTS``, a point at
+    an interval's finish is ``FINISHES``, a point strictly inside is
+    ``DURING``, and two coincident points are ``EQUAL``.
+    """
+    if a.is_point and b.is_point:
+        if a.start == b.start:
+            return AllenRelation.EQUAL
+        return (
+            AllenRelation.BEFORE if a.start < b.start else AllenRelation.AFTER
+        )
+    if a.is_point:
+        return _relate_point_to_interval(a.start, b.start, b.finish)
+    if b.is_point:
+        return _relate_point_to_interval(b.start, a.start, a.finish).inverse
+    return _relate_endpoints(a.start, a.finish, b.start, b.finish)
+
+
+def _relate_point_to_interval(
+    t: float, b_s: float, b_f: float
+) -> AllenRelation:
+    """Relation of point ``t`` to proper interval ``[b_s, b_f]``."""
+    if t < b_s:
+        return AllenRelation.BEFORE
+    if t == b_s:
+        return AllenRelation.STARTS
+    if t < b_f:
+        return AllenRelation.DURING
+    if t == b_f:
+        return AllenRelation.FINISHES
+    return AllenRelation.AFTER
+
+
+@lru_cache(maxsize=1)
+def _composition_table() -> dict[
+    tuple[AllenRelation, AllenRelation], frozenset[AllenRelation]
+]:
+    """Derive the full 13x13 composition table from first principles.
+
+    Allen relations depend only on the order/equality pattern of the four
+    endpoints involved, so every realizable configuration of three proper
+    intervals is realizable with endpoints drawn from ``{0, ..., 5}`` (six
+    values for six endpoints). Enumerating all such triples is therefore a
+    *complete* derivation of the table, not a sampling heuristic.
+    """
+    values = range(6)
+    intervals = [
+        (s, f) for s, f in itertools.product(values, values) if s < f
+    ]
+    table: dict[
+        tuple[AllenRelation, AllenRelation], set[AllenRelation]
+    ] = {}
+    for (a_s, a_f), (b_s, b_f), (c_s, c_f) in itertools.product(
+        intervals, repeat=3
+    ):
+        r_ab = _relate_endpoints(a_s, a_f, b_s, b_f)
+        r_bc = _relate_endpoints(b_s, b_f, c_s, c_f)
+        r_ac = _relate_endpoints(a_s, a_f, c_s, c_f)
+        table.setdefault((r_ab, r_bc), set()).add(r_ac)
+    return {key: frozenset(vals) for key, vals in table.items()}
+
+
+def compose(
+    r1: AllenRelation, r2: AllenRelation
+) -> frozenset[AllenRelation]:
+    """Composition ``r1 ; r2`` of the algebra.
+
+    Returns the set of relations possible between ``A`` and ``C`` given
+    ``relate(A, B) == r1`` and ``relate(B, C) == r2``. The table is
+    computed once and cached. Used by the IEMiner baseline to reject
+    inconsistent candidate relation matrices without counting them.
+    """
+    return _composition_table()[(r1, r2)]

@@ -1,0 +1,219 @@
+"""Relation-matrix view of interval arrangements.
+
+Before the endpoint representation, interval pattern miners (IEMiner and
+relatives) described a k-interval pattern as an ordered list of labels
+plus the upper-triangular matrix of pairwise Allen relations. This module
+provides that view and the conversions in both directions:
+
+* :meth:`ArrangementPattern.from_temporal_pattern` reads the matrix off a
+  complete endpoint pattern (always succeeds — the endpoint representation
+  is lossless);
+* :meth:`ArrangementPattern.to_temporal_pattern` *realizes* a matrix as an
+  endpoint pattern by solving the induced endpoint-order constraints
+  (union-find for equalities, longest-path layering for strict orders),
+  raising :class:`InconsistentArrangementError` when the matrix is not
+  realizable — the consistency problem endpoint-based mining sidesteps.
+
+The round-trip property (pattern -> matrix -> pattern is the identity) is
+the formal statement of the paper's losslessness claim and is exercised by
+property tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.model.event import IntervalEvent
+from repro.model.pattern import TemporalPattern
+from repro.temporal.allen import AllenRelation, relate
+
+__all__ = ["ArrangementPattern", "InconsistentArrangementError"]
+
+
+class InconsistentArrangementError(ValueError):
+    """Raised when a relation matrix admits no realization."""
+
+
+# Constraint templates: for relation R between intervals (sa, fa, sb, sb),
+# the equalities and strict orders among endpoints. Endpoint codes:
+# 0 = sa, 1 = fa, 2 = sb, 3 = fb. The intrinsic sa < fa, sb < fb orders are
+# added separately.
+_EQ_LT: dict[AllenRelation, tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]] = {
+    AllenRelation.BEFORE: ((), ((1, 2),)),
+    AllenRelation.MEETS: (((1, 2),), ()),
+    AllenRelation.OVERLAPS: ((), ((0, 2), (2, 1), (1, 3))),
+    AllenRelation.STARTS: (((0, 2),), ((1, 3),)),
+    AllenRelation.DURING: ((), ((2, 0), (1, 3))),
+    AllenRelation.FINISHES: (((1, 3),), ((2, 0),)),
+    AllenRelation.EQUAL: (((0, 2), (1, 3)), ()),
+}
+
+
+def _constraints(rel: AllenRelation):
+    """(equalities, strict orders) as endpoint-code pairs for a relation."""
+    if rel in _EQ_LT:
+        return _EQ_LT[rel]
+    eqs, lts = _EQ_LT[rel.inverse]
+    swap = {0: 2, 1: 3, 2: 0, 3: 1}
+    return (
+        tuple((swap[a], swap[b]) for a, b in eqs),
+        tuple((swap[a], swap[b]) for a, b in lts),
+    )
+
+
+@dataclass(frozen=True)
+class ArrangementPattern:
+    """A k-interval arrangement as labels + pairwise Allen relations.
+
+    ``relations[(i, j)]`` (``i < j``) is the relation of interval ``i`` to
+    interval ``j`` in the canonical interval order.
+    """
+
+    labels: tuple[str, ...]
+    relations: tuple[tuple[int, int, AllenRelation], ...]
+
+    def __post_init__(self) -> None:
+        k = len(self.labels)
+        expected = {(i, j) for i in range(k) for j in range(i + 1, k)}
+        got = {(i, j) for i, j, _ in self.relations}
+        if got != expected:
+            raise ValueError(
+                f"relations must cover every pair i<j of {k} intervals; "
+                f"missing {sorted(expected - got)}, extra {sorted(got - expected)}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of intervals."""
+        return len(self.labels)
+
+    def relation(self, i: int, j: int) -> AllenRelation:
+        """Relation of interval ``i`` to interval ``j`` (any order)."""
+        if i == j:
+            return AllenRelation.EQUAL
+        for a, b, rel in self.relations:
+            if (a, b) == (i, j):
+                return rel
+            if (a, b) == (j, i):
+                return rel.inverse
+        raise KeyError((i, j))
+
+    def __str__(self) -> str:
+        parts = [
+            f"{self.labels[i]}[{i}] {rel.describe()} {self.labels[j]}[{j}]"
+            for i, j, rel in sorted(self.relations)
+        ]
+        if not parts:
+            return f"{self.labels[0]}[0]" if self.labels else "(empty)"
+        return "; ".join(parts)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(
+        cls, events: list[IntervalEvent]
+    ) -> "ArrangementPattern":
+        """Read the matrix off concrete intervals (canonical event order)."""
+        ordered = sorted(events)
+        for ev in ordered:
+            if ev.is_point:
+                raise ValueError(
+                    "relation matrices are defined over proper intervals; "
+                    f"{ev} is a point event"
+                )
+        labels = tuple(ev.label for ev in ordered)
+        relations = tuple(
+            (i, j, relate(ordered[i], ordered[j]))
+            for i, j in itertools.combinations(range(len(ordered)), 2)
+        )
+        return cls(labels, relations)
+
+    @classmethod
+    def from_temporal_pattern(
+        cls, pattern: TemporalPattern
+    ) -> "ArrangementPattern":
+        """Convert a complete, interval-only endpoint pattern."""
+        if not pattern.is_complete:
+            raise ValueError("only complete patterns have a relation matrix")
+        if pattern.is_hybrid:
+            raise ValueError(
+                "relation matrices are defined over proper intervals; "
+                "the pattern contains point tokens"
+            )
+        return cls.from_events(list(pattern.to_esequence().events))
+
+    def to_temporal_pattern(self) -> TemporalPattern:
+        """Realize the matrix as the equivalent endpoint pattern.
+
+        Raises :class:`InconsistentArrangementError` when the relations
+        contradict each other (directly or transitively).
+        """
+        k = len(self.labels)
+        if k == 0:
+            raise ValueError("cannot realize an empty arrangement")
+        n = 2 * k  # endpoint variables: 2i = start_i, 2i + 1 = finish_i
+
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(x: int, y: int) -> None:
+            parent[find(x)] = find(y)
+
+        lt_edges: list[tuple[int, int]] = [
+            (2 * i, 2 * i + 1) for i in range(k)
+        ]
+        for i, j, rel in self.relations:
+            mapping = {0: 2 * i, 1: 2 * i + 1, 2: 2 * j, 3: 2 * j + 1}
+            eqs, lts = _constraints(rel)
+            for a, b in eqs:
+                union(mapping[a], mapping[b])
+            for a, b in lts:
+                lt_edges.append((mapping[a], mapping[b]))
+
+        # Longest-path layering over the strict-order DAG of representatives.
+        adjacency: dict[int, set[int]] = {}
+        indegree: dict[int, int] = {find(x): 0 for x in range(n)}
+        for a, b in lt_edges:
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                raise InconsistentArrangementError(
+                    f"arrangement {self} forces an endpoint before itself"
+                )
+            if rb not in adjacency.setdefault(ra, set()):
+                adjacency[ra].add(rb)
+                indegree[rb] += 1
+        layer = {node: 0 for node in indegree}
+        queue = [node for node, deg in indegree.items() if deg == 0]
+        seen = 0
+        while queue:
+            node = queue.pop()
+            seen += 1
+            for succ in adjacency.get(node, ()):
+                layer[succ] = max(layer[succ], layer[node] + 1)
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+        if seen != len(indegree):
+            raise InconsistentArrangementError(
+                f"arrangement {self} contains a relation cycle"
+            )
+        events = [
+            IntervalEvent(layer[find(2 * i)], layer[find(2 * i + 1)], label)
+            for i, label in enumerate(self.labels)
+        ]
+        return TemporalPattern.from_arrangement(events)
+
+    def is_consistent(self) -> bool:
+        """``True`` when the matrix is realizable."""
+        try:
+            self.to_temporal_pattern()
+        except InconsistentArrangementError:
+            return False
+        return True

@@ -1,0 +1,80 @@
+"""Cross-miner agreement: all five miners compute the same answer.
+
+This is experiment T3's foundation: on any database, P-TPMiner,
+TPrefixSpan, H-DFS, IEMiner and the brute-force oracle must return the
+identical pattern-to-support mapping.
+"""
+
+import pytest
+
+from repro.baselines import (
+    BruteForceMiner,
+    HDFSMiner,
+    IEMiner,
+    TPrefixSpanMiner,
+)
+from repro.core.ptpminer import PTPMiner
+
+from tests.conftest import make_random_db
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("min_sup", [0.2, 0.4])
+def test_all_miners_agree_tp(seed, min_sup):
+    db = make_random_db(seed, num_sequences=10, labels="ABC", max_events=5)
+    reference = PTPMiner(min_sup).mine(db).as_dict()
+    for miner in (
+        TPrefixSpanMiner(min_sup),
+        HDFSMiner(min_sup),
+        IEMiner(min_sup),
+        BruteForceMiner(min_sup),
+    ):
+        assert miner.mine(db).as_dict() == reference, type(miner).__name__
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_htp_capable_miners_agree(seed):
+    db = make_random_db(seed, num_sequences=10, labels="AB", max_events=4,
+                        point_fraction=0.4)
+    reference = PTPMiner(0.3, mode="htp").mine(db).as_dict()
+    for miner in (
+        TPrefixSpanMiner(0.3, mode="htp"),
+        HDFSMiner(0.3, mode="htp"),
+        BruteForceMiner(0.3, mode="htp"),
+    ):
+        assert miner.mine(db).as_dict() == reference, type(miner).__name__
+
+
+def test_agreement_with_duplicates():
+    for seed in range(5):
+        db = make_random_db(seed, num_sequences=8, labels="A", max_events=4,
+                            time_max=5)
+        reference = BruteForceMiner(0.25).mine(db).as_dict()
+        for miner in (
+            PTPMiner(0.25),
+            TPrefixSpanMiner(0.25),
+            HDFSMiner(0.25),
+            IEMiner(0.25),
+        ):
+            assert miner.mine(db).as_dict() == reference, (
+                type(miner).__name__,
+                seed,
+            )
+
+
+def test_agreement_on_clinical(clinical_db):
+    reference = PTPMiner(2).mine(clinical_db).as_dict()
+    for miner in (
+        TPrefixSpanMiner(2),
+        HDFSMiner(2),
+        IEMiner(2),
+        BruteForceMiner(2),
+    ):
+        assert miner.mine(clinical_db).as_dict() == reference
+
+
+def test_result_ordering_identical(clinical_db):
+    """Not only the sets — the canonical result *lists* must be equal."""
+    reference = PTPMiner(2).mine(clinical_db).patterns
+    for miner in (TPrefixSpanMiner(2), HDFSMiner(2), IEMiner(2)):
+        assert miner.mine(clinical_db).patterns == reference

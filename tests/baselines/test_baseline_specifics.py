@@ -1,0 +1,154 @@
+"""Baseline-specific behaviours beyond the shared agreement tests."""
+
+import pytest
+
+from repro.baselines import (
+    BruteForceMiner,
+    HDFSMiner,
+    IEMiner,
+    TPrefixSpanMiner,
+)
+from repro.baselines._shared import I_EXT, S_EXT, PatternBuilder
+from repro.core.ptpminer import PTPMiner
+from repro.model.database import ESequenceDatabase
+from repro.temporal.endpoint import FINISH, POINT, START, Endpoint
+
+from tests.conftest import make_random_db
+
+
+class TestModeValidation:
+    @pytest.mark.parametrize(
+        "miner_cls", [TPrefixSpanMiner, HDFSMiner, BruteForceMiner]
+    )
+    def test_tp_mode_rejects_points(self, miner_cls, hybrid_db):
+        with pytest.raises(ValueError, match="point events"):
+            miner_cls(0.5).mine(hybrid_db)
+
+    def test_ieminer_always_rejects_points(self, hybrid_db):
+        with pytest.raises(ValueError, match="point"):
+            IEMiner(0.5).mine(hybrid_db)
+
+    @pytest.mark.parametrize(
+        "miner_cls", [TPrefixSpanMiner, HDFSMiner, BruteForceMiner]
+    )
+    def test_invalid_mode_rejected(self, miner_cls):
+        with pytest.raises(ValueError, match="mode"):
+            miner_cls(0.5, mode="nope")
+
+
+class TestMinerMetadata:
+    def test_miner_names(self, clinical_db):
+        assert TPrefixSpanMiner(2).mine(clinical_db).miner == "TPrefixSpan"
+        assert HDFSMiner(2).mine(clinical_db).miner == "H-DFS"
+        assert IEMiner(2).mine(clinical_db).miner == "IEMiner"
+        assert BruteForceMiner(2).mine(clinical_db).miner == "BruteForce"
+
+    def test_empty_database(self):
+        db = ESequenceDatabase([])
+        for miner in (TPrefixSpanMiner(1), HDFSMiner(1), IEMiner(1),
+                      BruteForceMiner(1)):
+            assert miner.mine(db).patterns == []
+
+
+class TestSizeCaps:
+    def test_bruteforce_max_size(self):
+        db = make_random_db(3, num_sequences=6)
+        result = BruteForceMiner(0.3, max_size=2).mine(db)
+        assert all(item.pattern.size <= 2 for item in result.patterns)
+
+    def test_ieminer_max_size_matches_ptpminer(self):
+        db = make_random_db(4, num_sequences=8)
+        capped = IEMiner(0.25, max_size=2).mine(db).as_dict()
+        reference = {
+            p: s
+            for p, s in PTPMiner(0.25).mine(db).as_dict().items()
+            if p.size <= 2
+        }
+        assert capped == reference
+
+    def test_tprefixspan_max_tokens(self):
+        db = make_random_db(5, num_sequences=8)
+        result = TPrefixSpanMiner(0.25, max_tokens=4).mine(db)
+        assert all(item.pattern.num_tokens <= 4 for item in result.patterns)
+
+
+class TestEffortAccounting:
+    def test_verification_miners_consider_more_candidates(self):
+        """The structural claim behind the paper's speedups: the
+        verification-based baselines touch at least as many candidates as
+        P-TPMiner with its prunings on."""
+        db = make_random_db(12, num_sequences=20, labels="ABCD",
+                            max_events=6)
+        ptp = PTPMiner(0.2).mine(db)
+        hdfs = HDFSMiner(0.2).mine(db)
+        assert (
+            hdfs.counters.candidates_considered
+            >= ptp.counters.candidates_frequent
+        )
+
+    def test_ieminer_reports_apriori_prunes(self):
+        db = make_random_db(6, num_sequences=12, labels="ABC")
+        result = IEMiner(0.25).mine(db)
+        assert "pruned_apriori" in result.counters.as_dict() or (
+            result.counters.extras.get("pruned_apriori") is None
+        )
+
+
+class TestPatternBuilder:
+    def test_empty_builder(self):
+        builder = PatternBuilder()
+        assert builder.is_empty
+        assert builder.is_complete
+        assert builder.last_token is None
+        assert builder.feasible_tokens({"A"}, set(), I_EXT) == []
+
+    def test_push_pop_round_trip(self):
+        builder = PatternBuilder()
+        a_start = Endpoint("A", 1, START)
+        a_finish = Endpoint("A", 1, FINISH)
+        builder.push(a_start, S_EXT)
+        assert not builder.is_complete
+        builder.push(a_finish, S_EXT)
+        assert builder.is_complete
+        assert str(builder.to_pattern()) == "(A+) (A-)"
+        builder.pop(a_finish, S_EXT)
+        builder.pop(a_start, S_EXT)
+        assert builder.is_empty
+
+    def test_feasible_finish_requires_open(self):
+        builder = PatternBuilder()
+        builder.push(Endpoint("A", 1, START), S_EXT)
+        tokens = builder.feasible_tokens(set(), set(), S_EXT)
+        assert Endpoint("A", 1, FINISH) in tokens
+
+    def test_iext_respects_canonical_order(self):
+        builder = PatternBuilder()
+        builder.push(Endpoint("B", 1, START), S_EXT)
+        tokens = builder.feasible_tokens({"A", "C"}, set(), I_EXT)
+        # A+ sorts before the current last token B+, so only C+ remains
+        # (plus no finish of B in the same pointset).
+        assert Endpoint("C", 1, START) in tokens
+        assert Endpoint("A", 1, START) not in tokens
+
+    def test_duplicate_finish_canonical_rule(self):
+        builder = PatternBuilder()
+        builder.push(Endpoint("A", 1, START), S_EXT)
+        builder.push(Endpoint("A", 2, START), I_EXT)
+        # Both opened in the same pointset: only A#1 may finish first.
+        assert builder.allowed_finish("A", 1)
+        assert not builder.allowed_finish("A", 2)
+
+    def test_point_tokens_feasible_in_htp(self):
+        builder = PatternBuilder()
+        tokens = builder.feasible_tokens(set(), {"tick"}, S_EXT)
+        assert tokens == [Endpoint("tick", 1, POINT)]
+
+    def test_pop_reopens_interval(self):
+        builder = PatternBuilder()
+        a_start = Endpoint("A", 1, START)
+        a_finish = Endpoint("A", 1, FINISH)
+        builder.push(a_start, S_EXT)
+        builder.push(a_finish, S_EXT)
+        builder.pop(a_finish, S_EXT)
+        assert not builder.is_complete
+        assert builder.allowed_finish("A", 1)

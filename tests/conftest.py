@@ -1,0 +1,97 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model.database import ESequenceDatabase
+from repro.model.event import IntervalEvent
+from repro.model.sequence import ESequence
+
+
+def make_random_db(
+    seed: int,
+    *,
+    num_sequences: int = 10,
+    labels: str = "ABC",
+    max_events: int = 5,
+    time_max: int = 8,
+    point_fraction: float = 0.0,
+) -> ESequenceDatabase:
+    """Small random database for oracle cross-checks.
+
+    Deliberately tiny time range so endpoint ties (shared pointsets) and
+    duplicate labels occur often — the hard cases for the miners.
+    """
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(num_sequences):
+        row = []
+        for _ in range(rng.randint(1, max_events)):
+            start = rng.randint(0, time_max)
+            if rng.random() < point_fraction:
+                row.append((start, start, rng.choice(labels)))
+            else:
+                row.append(
+                    (start, start + rng.randint(1, 4), rng.choice(labels))
+                )
+        rows.append(row)
+    return ESequenceDatabase.from_event_lists(rows)
+
+
+@pytest.fixture
+def two_interval_db() -> ESequenceDatabase:
+    """Two sequences sharing the arrangement 'A overlaps B'."""
+    return ESequenceDatabase.from_event_lists(
+        [
+            [(0, 4, "A"), (2, 6, "B")],
+            [(10, 14, "A"), (12, 17, "B")],
+        ]
+    )
+
+
+@pytest.fixture
+def clinical_db() -> ESequenceDatabase:
+    """A hand-written 'clinical' database with known pattern supports.
+
+    Sequences (times chosen so arrangements are unambiguous):
+
+    * s0: fever[0,10] contains rash[2,6]; headache[12,15] after both
+    * s1: fever[0,8]  contains rash[3,5]
+    * s2: fever[0,6]  meets  rash[6,9]
+    * s3: rash[0,4] only
+    """
+    return ESequenceDatabase.from_event_lists(
+        [
+            [(0, 10, "fever"), (2, 6, "rash"), (12, 15, "headache")],
+            [(0, 8, "fever"), (3, 5, "rash")],
+            [(0, 6, "fever"), (6, 9, "rash")],
+            [(0, 4, "rash")],
+        ],
+        name="clinical",
+    )
+
+
+@pytest.fixture
+def hybrid_db() -> ESequenceDatabase:
+    """Database mixing interval and point events (HTP workloads)."""
+    return ESequenceDatabase.from_event_lists(
+        [
+            [(0, 5, "infusion"), (2, 2, "alarm")],
+            [(1, 6, "infusion"), (3, 3, "alarm")],
+            [(0, 4, "infusion")],
+        ],
+        name="hybrid-mini",
+    )
+
+
+def events(*triples) -> list[IntervalEvent]:
+    """Shorthand: events((0, 4, 'A'), (2, 6, 'B'))."""
+    return [IntervalEvent(s, f, label) for s, f, label in triples]
+
+
+def seq(*triples) -> ESequence:
+    """Shorthand e-sequence constructor."""
+    return ESequence(events(*triples))

@@ -1,0 +1,89 @@
+"""Tests for the closed / maximal pattern post-filters."""
+
+from repro.core.closed import filter_closed, filter_maximal
+from repro.core.ptpminer import PTPMiner
+from repro.model.database import ESequenceDatabase
+from repro.model.pattern import TemporalPattern
+
+from tests.conftest import make_random_db
+
+
+def pat(text):
+    return TemporalPattern.parse(text)
+
+
+def identical_db():
+    """Every sequence is 'A overlaps B': only the 4-token pattern is closed."""
+    return ESequenceDatabase.from_event_lists(
+        [[(0, 4, "A"), (2, 6, "B")]] * 3
+    )
+
+
+class TestClosed:
+    def test_subsumed_equal_support_removed(self):
+        result = PTPMiner(min_sup=3).mine(identical_db())
+        closed = filter_closed(result)
+        assert closed.pattern_set() == {pat("(A+) (B+) (A-) (B-)")}
+
+    def test_distinct_support_kept(self, clinical_db):
+        result = PTPMiner(min_sup=2).mine(clinical_db)
+        closed = filter_closed(result)
+        # rash (support 4) and fever (support 3) both closed; the nested
+        # pattern (support 2) closed as the largest.
+        assert pat("(rash+) (rash-)") in closed.pattern_set()
+        assert pat("(fever+) (fever-)") in closed.pattern_set()
+        assert pat("(fever+) (rash+) (rash-) (fever-)") in closed.pattern_set()
+
+    def test_supports_preserved(self, clinical_db):
+        result = PTPMiner(min_sup=2).mine(clinical_db)
+        closed = filter_closed(result)
+        full = result.as_dict()
+        for item in closed.patterns:
+            assert full[item.pattern] == item.support
+
+    def test_miner_tag(self, clinical_db):
+        closed = filter_closed(PTPMiner(min_sup=2).mine(clinical_db))
+        assert closed.miner.endswith("+closed")
+
+    def test_closed_set_determines_all_supports(self):
+        """Every frequent pattern's support equals the max support of a
+        closed super-pattern — the defining property of closed sets."""
+        db = make_random_db(5, num_sequences=10)
+        result = PTPMiner(min_sup=0.2).mine(db)
+        closed = filter_closed(result)
+        for item in result.patterns:
+            covering = [
+                c.support
+                for c in closed.patterns
+                if item.pattern.contained_in(c.pattern)
+            ]
+            assert covering
+            assert max(covering) == item.support
+
+
+class TestMaximal:
+    def test_only_maximal_survive(self):
+        result = PTPMiner(min_sup=3).mine(identical_db())
+        maximal = filter_maximal(result)
+        assert maximal.pattern_set() == {pat("(A+) (B+) (A-) (B-)")}
+
+    def test_maximal_subset_of_closed(self):
+        db = make_random_db(8, num_sequences=10)
+        result = PTPMiner(min_sup=0.2).mine(db)
+        closed = filter_closed(result)
+        maximal = filter_maximal(result)
+        assert maximal.pattern_set() <= closed.pattern_set()
+
+    def test_every_pattern_below_some_maximal(self):
+        db = make_random_db(9, num_sequences=10)
+        result = PTPMiner(min_sup=0.3).mine(db)
+        maximal = filter_maximal(result)
+        for item in result.patterns:
+            assert any(
+                item.pattern.contained_in(m.pattern)
+                for m in maximal.patterns
+            )
+
+    def test_miner_tag(self, clinical_db):
+        maximal = filter_maximal(PTPMiner(min_sup=2).mine(clinical_db))
+        assert maximal.miner.endswith("+maximal")

@@ -1,0 +1,149 @@
+"""Tests for the extension features: max_span time constraint and top-k."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import BruteForceMiner
+from repro.core.ptpminer import PTPMiner
+from repro.model.database import ESequenceDatabase
+from repro.model.pattern import TemporalPattern
+
+from tests.conftest import make_random_db
+
+
+def pat(text):
+    return TemporalPattern.parse(text)
+
+
+class TestMaxSpan:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_span"):
+            PTPMiner(max_span=-1)
+
+    def test_window_excludes_distant_arrangements(self):
+        # 'A before B' with a 10-unit gap: visible without a constraint,
+        # invisible through a 5-unit window.
+        db = ESequenceDatabase.from_event_lists(
+            [[(0, 2, "A"), (12, 14, "B")]] * 3
+        )
+        free = PTPMiner(min_sup=3).mine(db).pattern_set()
+        windowed = PTPMiner(min_sup=3, max_span=5).mine(db).pattern_set()
+        before = pat("(A+) (A-) (B+) (B-)")
+        assert before in free
+        assert before not in windowed
+        assert pat("(A+) (A-)") in windowed
+        assert pat("(B+) (B-)") in windowed
+
+    def test_long_interval_itself_excluded(self):
+        db = ESequenceDatabase.from_event_lists([[(0, 20, "A")]] * 2)
+        result = PTPMiner(min_sup=2, max_span=5).mine(db)
+        assert result.patterns == []
+
+    def test_window_is_per_embedding_not_per_sequence(self):
+        # The same arrangement occurs twice: once inside the window and
+        # once straddling it — the tight embedding must still count.
+        db = ESequenceDatabase.from_event_lists(
+            [[(0, 2, "A"), (50, 52, "B"), (53, 55, "A"), (56, 58, "B")]] * 2
+        )
+        windowed = PTPMiner(min_sup=2, max_span=10).mine(db).pattern_set()
+        assert pat("(A+) (A-) (B+) (B-)") in windowed
+
+    def test_boundary_is_inclusive(self):
+        db = ESequenceDatabase.from_event_lists(
+            [[(0, 2, "A"), (3, 5, "B")]] * 2
+        )
+        windowed = PTPMiner(min_sup=2, max_span=5).mine(db).pattern_set()
+        assert pat("(A+) (A-) (B+) (B-)") in windowed
+
+    def test_no_constraint_equals_infinite_window(self):
+        db = make_random_db(3, num_sequences=10)
+        free = PTPMiner(0.2).mine(db).as_dict()
+        wide = PTPMiner(0.2, max_span=10_000).mine(db).as_dict()
+        assert free == wide
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("span", [2, 5])
+    def test_agreement_with_oracle(self, seed, span):
+        db = make_random_db(seed, num_sequences=10, labels="AB",
+                            max_events=5, time_max=8)
+        expected = BruteForceMiner(0.2, max_span=span).mine(db).as_dict()
+        got = PTPMiner(0.2, max_span=span).mine(db).as_dict()
+        assert got == expected
+
+    def test_agreement_with_oracle_htp(self):
+        for seed in range(4):
+            db = make_random_db(seed, num_sequences=10, labels="AB",
+                                max_events=4, point_fraction=0.3)
+            expected = BruteForceMiner(
+                0.2, mode="htp", max_span=3
+            ).mine(db).as_dict()
+            got = PTPMiner(0.2, mode="htp", max_span=3).mine(db).as_dict()
+            assert got == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), span=st.integers(1, 8))
+    def test_constrained_support_is_bounded(self, seed, span):
+        """Constrained supports never exceed unconstrained supports."""
+        db = make_random_db(seed, num_sequences=8)
+        free = PTPMiner(0.2).mine(db).as_dict()
+        constrained = PTPMiner(0.2, max_span=span).mine(db).as_dict()
+        for pattern, support in constrained.items():
+            assert support <= free[pattern]
+
+
+class TestTopK:
+    def test_validation(self, clinical_db):
+        with pytest.raises(ValueError, match="k must"):
+            PTPMiner().mine_top_k(clinical_db, 0)
+        with pytest.raises(ValueError, match="min_size"):
+            PTPMiner().mine_top_k(clinical_db, 3, min_size=0)
+
+    def test_top_one(self, clinical_db):
+        result = PTPMiner().mine_top_k(clinical_db, 1)
+        assert len(result.patterns) == 1
+        assert result.patterns[0].pattern == pat("(rash+) (rash-)")
+        assert result.patterns[0].support == 4
+
+    def test_matches_head_of_exhaustive_mine(self):
+        for seed in range(6):
+            db = make_random_db(seed, num_sequences=12)
+            full = PTPMiner().mine_weighted(
+                db, [1.0] * len(db), 1.0
+            ).patterns
+            for k in (1, 3, 8):
+                topk = PTPMiner().mine_top_k(db, k).patterns
+                assert topk == full[: min(k, len(full))], (seed, k)
+
+    def test_fewer_patterns_than_k(self):
+        db = ESequenceDatabase.from_event_lists([[(0, 1, "A")]])
+        result = PTPMiner().mine_top_k(db, 10)
+        assert len(result.patterns) == 1
+
+    def test_min_size_filters_small_patterns(self, clinical_db):
+        result = PTPMiner().mine_top_k(clinical_db, 2, min_size=2)
+        assert len(result.patterns) == 2
+        assert all(item.pattern.size >= 2 for item in result.patterns)
+        assert result.patterns[0].pattern == pat(
+            "(fever+) (rash+) (rash-) (fever-)"
+        )
+
+    def test_dynamic_threshold_prunes(self):
+        """Top-k with small k must do less work than exhaustive mining."""
+        db = make_random_db(20, num_sequences=30, labels="ABCDE",
+                            max_events=6)
+        full = PTPMiner().mine_weighted(db, [1.0] * len(db), 1.0)
+        topk = PTPMiner().mine_top_k(db, 3)
+        assert (
+            topk.counters.candidates_frequent
+            < full.counters.candidates_frequent
+        )
+
+    def test_min_sup_floor_respected(self, clinical_db):
+        result = PTPMiner().mine_top_k(clinical_db, 50, min_sup=3)
+        assert all(item.support >= 3 for item in result.patterns)
+
+    def test_miner_tag(self, clinical_db):
+        result = PTPMiner().mine_top_k(clinical_db, 2)
+        assert result.miner == "P-TPMiner(top-k)"
+        assert result.params["k"] == 2

@@ -1,0 +1,97 @@
+"""Unit tests for the counting primitives (document frequency, pair tables)."""
+
+from repro.core.counting import PairTables, symbol_document_frequency
+from repro.model.database import ESequenceDatabase
+from repro.temporal.endpoint import FINISH, START, EncodedDatabase
+
+from tests.conftest import seq
+
+
+def encode(*seqs):
+    return EncodedDatabase(ESequenceDatabase(list(seqs)))
+
+
+class TestDocumentFrequency:
+    def test_counts_sequences_not_occurrences(self):
+        enc = encode(
+            seq((0, 1, "A"), (2, 3, "A")),  # A twice in one sequence
+            seq((0, 1, "A")),
+            seq((0, 1, "B")),
+        )
+        df = symbol_document_frequency(enc, [1.0, 1.0, 1.0])
+        assert df[enc.sym("A", START)] == 2
+        assert df[enc.sym("A", FINISH)] == 2
+        assert df[enc.sym("B", START)] == 1
+
+    def test_weighted(self):
+        enc = encode(seq((0, 1, "A")), seq((0, 1, "A")))
+        df = symbol_document_frequency(enc, [0.25, 0.5])
+        assert df[enc.sym("A", START)] == 0.75
+
+    def test_empty_sequences_contribute_nothing(self):
+        enc = encode(seq(), seq((0, 1, "A")))
+        df = symbol_document_frequency(enc, [1.0, 1.0])
+        assert df[enc.sym("A", START)] == 1
+
+
+class TestPairTables:
+    def test_s_pair_counts_strictly_later(self):
+        enc = encode(
+            seq((0, 1, "A"), (2, 3, "B")),  # B entirely after A
+            seq((2, 3, "A"), (0, 1, "B")),  # B entirely before A
+        )
+        pairs = PairTables(enc, [1.0, 1.0])
+        a_start = enc.sym("A", START)
+        b_start = enc.sym("B", START)
+        assert pairs.s_pair(a_start, b_start) == 1
+        assert pairs.s_pair(b_start, a_start) == 1
+        # A's finish comes after its start in both sequences.
+        assert pairs.s_pair(a_start, enc.sym("A", FINISH)) == 2
+
+    def test_i_pair_counts_shared_pointsets(self):
+        enc = encode(
+            seq((0, 3, "A"), (0, 5, "B")),  # starts share a pointset
+            seq((0, 3, "A"), (4, 5, "B")),
+        )
+        pairs = PairTables(enc, [1.0, 1.0])
+        a_start = enc.sym("A", START)
+        b_start = enc.sym("B", START)
+        assert pairs.i_pair(a_start, b_start) == 1
+        assert pairs.i_pair(b_start, a_start) == 1  # symmetric
+
+    def test_i_pair_same_symbol_needs_two_tokens(self):
+        enc = encode(
+            seq((0, 3, "A"), (0, 5, "A")),  # two A starts at time 0
+            seq((0, 3, "A")),
+        )
+        pairs = PairTables(enc, [1.0, 1.0])
+        a_start = enc.sym("A", START)
+        assert pairs.i_pair(a_start, a_start) == 1
+
+    def test_missing_pairs_are_zero(self):
+        enc = encode(seq((0, 1, "A")))
+        pairs = PairTables(enc, [1.0])
+        assert pairs.s_pair(99, 100) == 0.0
+        assert pairs.i_pair(99, 100) == 0.0
+
+    def test_pair_bound_is_sound_upper_bound(self):
+        """s_pair must upper-bound the support of the 2-token pattern."""
+        from repro.core.ptpminer import PTPMiner
+
+        db = ESequenceDatabase(
+            [
+                seq((0, 1, "A"), (2, 3, "B")),
+                seq((0, 1, "A"), (2, 3, "B")),
+                seq((0, 4, "A"), (2, 3, "B")),
+            ]
+        )
+        enc = EncodedDatabase(db)
+        pairs = PairTables(enc, [1.0] * 3)
+        result = PTPMiner(min_sup=1.0).mine(db)
+        for item in result.patterns:
+            if item.pattern.num_tokens < 2:
+                continue
+            tokens = [e for ps in item.pattern.pointsets for e in ps]
+            first = enc.sym(tokens[0].label, tokens[0].kind)
+            last = enc.sym(tokens[-1].label, tokens[-1].kind)
+            assert pairs.s_pair(first, last) >= item.support

@@ -1,0 +1,144 @@
+"""Tests for expected-support mining over uncertain databases."""
+
+import pytest
+
+from repro.core.probabilistic import ProbabilisticTPMiner
+from repro.core.ptpminer import PTPMiner
+from repro.model.database import ESequenceDatabase
+from repro.model.pattern import TemporalPattern
+from repro.model.uncertain import UncertainESequenceDatabase
+
+from tests.conftest import make_random_db
+
+
+def pat(text):
+    return TemporalPattern.parse(text)
+
+
+def uncertain_clinical():
+    db = ESequenceDatabase.from_event_lists(
+        [
+            [(0, 10, "fever"), (2, 6, "rash")],
+            [(0, 8, "fever"), (3, 5, "rash")],
+            [(0, 6, "fever")],
+            [(0, 4, "rash")],
+        ]
+    )
+    return UncertainESequenceDatabase.from_database(
+        db, [0.9, 0.6, 0.5, 1.0]
+    )
+
+
+class TestExpectedSupport:
+    def test_expected_supports_are_weight_sums(self):
+        result = ProbabilisticTPMiner(min_esup=1.2).mine(
+            uncertain_clinical()
+        )
+        supports = result.as_dict()
+        assert supports[pat("(fever+) (fever-)")] == pytest.approx(2.0)
+        assert supports[pat("(rash+) (rash-)")] == pytest.approx(2.5)
+        assert supports[
+            pat("(fever+) (rash+) (rash-) (fever-)")
+        ] == pytest.approx(1.5)
+
+    def test_threshold_filters_by_expectation(self):
+        result = ProbabilisticTPMiner(min_esup=2.2).mine(
+            uncertain_clinical()
+        )
+        assert result.pattern_set() == {pat("(rash+) (rash-)")}
+
+    def test_fractional_threshold_is_relative(self):
+        udb = uncertain_clinical()
+        rel = ProbabilisticTPMiner(min_esup=2.2 / udb.total_probability)
+        abs_ = ProbabilisticTPMiner(min_esup=2.2)
+        assert rel.mine(udb).as_dict() == abs_.mine(udb).as_dict()
+
+    def test_certain_database_matches_deterministic(self):
+        db = make_random_db(17, num_sequences=10)
+        udb = UncertainESequenceDatabase.certain(db)
+        deterministic = PTPMiner(min_sup=2).mine(db).as_dict()
+        probabilistic = ProbabilisticTPMiner(min_esup=2).mine(udb).as_dict()
+        assert probabilistic == deterministic
+
+    def test_oracle_expected_supports(self):
+        """Expected support equals the containment-weighted sum (oracle)."""
+        udb = uncertain_clinical()
+        result = ProbabilisticTPMiner(min_esup=0.5).mine(udb)
+        for item in result.patterns:
+            expected = sum(
+                p
+                for seq, p in zip(udb.db, udb.probabilities)
+                if item.pattern.contained_in(seq)
+            )
+            assert item.support == pytest.approx(expected)
+
+    def test_miner_tag_and_params(self):
+        result = ProbabilisticTPMiner(min_esup=1.0).mine(
+            uncertain_clinical()
+        )
+        assert result.miner == "P-TPMiner(probabilistic)"
+        assert result.params["min_esup"] == 1.0
+
+
+class TestUncertainDatabase:
+    def test_probability_validation(self):
+        db = make_random_db(0, num_sequences=3)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            UncertainESequenceDatabase.from_database(db, [0.5, 1.5, 0.5])
+
+    def test_length_mismatch(self):
+        db = make_random_db(0, num_sequences=3)
+        with pytest.raises(ValueError, match="probabilities"):
+            UncertainESequenceDatabase.from_database(db, [0.5])
+
+    def test_total_probability(self):
+        assert uncertain_clinical().total_probability == pytest.approx(3.0)
+
+    def test_threshold_conversion(self):
+        udb = uncertain_clinical()
+        assert udb.expected_support_threshold(0.5) == pytest.approx(1.5)
+        assert udb.expected_support_threshold(2.5) == 2.5
+        with pytest.raises(ValueError, match="positive"):
+            udb.expected_support_threshold(0)
+
+    def test_repr_and_len(self):
+        udb = uncertain_clinical()
+        assert len(udb) == 4
+        assert "4 sequences" in repr(udb)
+
+
+class TestProbabilisticPruningEquivalence:
+    def test_pruning_configs_agree_under_weights(self):
+        from repro.core.pruning import PruningConfig
+
+        udb = uncertain_clinical()
+        reference = ProbabilisticTPMiner(min_esup=1.1).mine(udb).as_dict()
+        for config in (
+            PruningConfig.none(),
+            PruningConfig(point=True, pair=False, postfix=False),
+            PruningConfig(point=False, pair=True, postfix=False),
+            PruningConfig(point=False, pair=False, postfix=True),
+        ):
+            got = ProbabilisticTPMiner(
+                min_esup=1.1, pruning=config
+            ).mine(udb).as_dict()
+            assert got == reference, config.describe()
+
+    def test_randomized_weighted_agreement(self):
+        import random
+
+        from repro.core.ptpminer import PTPMiner
+        from repro.model.pattern import TemporalPattern
+
+        for seed in range(5):
+            db = make_random_db(seed, num_sequences=10)
+            rng = random.Random(seed)
+            weights = [rng.random() for _ in range(len(db))]
+            result = PTPMiner(1).mine_weighted(db, weights, 0.8)
+            for item in result.patterns:
+                expected = sum(
+                    w
+                    for seq, w in zip(db, weights)
+                    if item.pattern.contained_in(seq)
+                )
+                assert abs(item.support - expected) < 1e-9

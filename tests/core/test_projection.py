@@ -1,0 +1,56 @@
+"""Unit tests for projection states and deduplication."""
+
+from repro.core.projection import EMPTY_STATE, State, dedupe_states
+
+
+def st_(pos, pending=(), used=(), window=None):
+    return State(pos, frozenset(pending), frozenset(used), window)
+
+
+class TestState:
+    def test_empty_state(self):
+        assert EMPTY_STATE.pos == -1
+        assert not EMPTY_STATE.pending
+        assert not EMPTY_STATE.used
+        assert EMPTY_STATE.window_start is None
+
+    def test_pending_socc_lookup(self):
+        state = st_(3, pending={(0, 1, 2), (1, 1, 1)})
+        assert state.pending_socc(0, 1) == 2
+        assert state.pending_socc(1, 1) == 1
+        assert state.pending_socc(0, 2) is None
+
+    def test_states_hashable(self):
+        assert len({st_(1), st_(1)}) == 1
+
+    def test_window_start_distinguishes_states(self):
+        assert st_(1, window=0.0) != st_(1, window=3.0)
+
+
+class TestDedupe:
+    def test_exact_duplicates_removed(self):
+        states = [st_(2, {(0, 1, 1)}), st_(2, {(0, 1, 1)})]
+        assert len(dedupe_states(states)) == 1
+
+    def test_distinct_states_kept(self):
+        a = st_(2, pending={(0, 1, 1)})
+        b = st_(2, pending={(0, 1, 2)})
+        c = st_(3, pending={(0, 1, 1)})
+        assert set(dedupe_states([a, b, c])) == {a, b, c}
+
+    def test_first_seen_order_preserved(self):
+        a, b, c = st_(3), st_(1), st_(2)
+        assert dedupe_states([a, b, c, a, b]) == (a, b, c)
+
+    def test_empty_and_singleton(self):
+        assert dedupe_states([]) == ()
+        only = st_(4)
+        assert dedupe_states([only]) == (only,)
+
+    def test_equal_cardinality_used_sets_both_kept(self):
+        # The structural fact the module relies on: embeddings of one
+        # prefix always consume equally many occurrences, so used sets
+        # are never strict subsets — both incomparable states stay.
+        a = st_(2, used={(0, 1)})
+        b = st_(2, used={(0, 2)})
+        assert set(dedupe_states([a, b])) == {a, b}

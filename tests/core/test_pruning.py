@@ -1,0 +1,52 @@
+"""Unit tests for pruning configuration and counters."""
+
+from repro.core.pruning import PruneCounters, PruningConfig
+
+
+class TestPruningConfig:
+    def test_default_all_on(self):
+        config = PruningConfig()
+        assert config.point and config.pair and config.postfix
+
+    def test_none_and_all_constructors(self):
+        assert PruningConfig.none().describe() == "none"
+        assert PruningConfig.all().describe() == "point+pair+postfix"
+
+    def test_describe_partial(self):
+        assert PruningConfig(point=True, pair=False, postfix=True).describe() == (
+            "point+postfix"
+        )
+
+    def test_frozen(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            PruningConfig().point = False  # type: ignore[misc]
+
+    def test_equality(self):
+        assert PruningConfig.all() == PruningConfig()
+        assert PruningConfig.none() != PruningConfig()
+
+
+class TestPruneCounters:
+    def test_defaults_zero(self):
+        counters = PruneCounters()
+        assert counters.nodes_expanded == 0
+        assert counters.extras == {}
+
+    def test_as_dict_contains_all_fields(self):
+        counters = PruneCounters(nodes_expanded=3, pruned_pair=2)
+        d = counters.as_dict()
+        assert d["nodes_expanded"] == 3
+        assert d["pruned_pair"] == 2
+        assert "patterns_emitted" in d
+
+    def test_extras_merged_into_dict(self):
+        counters = PruneCounters()
+        counters.extras["pruned_apriori"] = 9
+        assert counters.as_dict()["pruned_apriori"] == 9
+
+    def test_independent_instances(self):
+        a, b = PruneCounters(), PruneCounters()
+        a.extras["x"] = 1
+        assert "x" not in b.extras

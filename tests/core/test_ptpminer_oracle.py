@@ -1,0 +1,109 @@
+"""Randomized agreement of P-TPMiner with the brute-force oracle.
+
+These are the load-bearing correctness tests: across random databases
+with timestamp ties (shared pointsets), duplicate labels, and point
+events, every pruning configuration of P-TPMiner must produce the exact
+pattern-to-support mapping the exhaustive oracle computes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import BruteForceMiner
+from repro.core.pruning import PruningConfig
+from repro.core.ptpminer import PTPMiner
+
+from tests.conftest import make_random_db
+
+CONFIGS = [
+    PruningConfig.all(),
+    PruningConfig.none(),
+    PruningConfig(point=True, pair=False, postfix=False),
+    PruningConfig(point=False, pair=True, postfix=False),
+    PruningConfig(point=False, pair=False, postfix=True),
+]
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("min_sup", [0.2, 0.4])
+def test_tp_agreement(seed, min_sup):
+    db = make_random_db(seed, num_sequences=10, labels="AB", max_events=5,
+                        time_max=6)
+    expected = BruteForceMiner(min_sup).mine(db).as_dict()
+    for config in CONFIGS:
+        got = PTPMiner(min_sup, pruning=config).mine(db).as_dict()
+        assert got == expected, config.describe()
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("min_sup", [0.2, 0.4])
+def test_htp_agreement(seed, min_sup):
+    db = make_random_db(seed, num_sequences=10, labels="AB", max_events=5,
+                        time_max=6, point_fraction=0.4)
+    expected = BruteForceMiner(min_sup, mode="htp").mine(db).as_dict()
+    for config in CONFIGS:
+        got = PTPMiner(min_sup, mode="htp", pruning=config).mine(
+            db
+        ).as_dict()
+        assert got == expected, config.describe()
+
+
+def test_heavy_duplicates_agreement():
+    """Single-label databases maximize duplicate-occurrence ambiguity."""
+    for seed in range(8):
+        db = make_random_db(seed, num_sequences=8, labels="A",
+                            max_events=5, time_max=5)
+        expected = BruteForceMiner(0.25).mine(db).as_dict()
+        got = PTPMiner(0.25).mine(db).as_dict()
+        assert got == expected
+
+
+def test_dense_tie_agreement():
+    """Tiny time domain forces many simultaneous endpoints."""
+    for seed in range(8):
+        db = make_random_db(seed, num_sequences=8, labels="AB",
+                            max_events=4, time_max=2)
+        expected = BruteForceMiner(0.25).mine(db).as_dict()
+        got = PTPMiner(0.25).mine(db).as_dict()
+        assert got == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    min_sup=st.sampled_from([0.2, 0.3, 0.5]),
+    point_fraction=st.sampled_from([0.0, 0.3]),
+)
+def test_agreement_property(seed, min_sup, point_fraction):
+    db = make_random_db(seed, num_sequences=8, labels="ABC", max_events=4,
+                        time_max=6, point_fraction=point_fraction)
+    mode = "htp" if point_fraction else "tp"
+    expected = BruteForceMiner(min_sup, mode=mode).mine(db).as_dict()
+    got = PTPMiner(min_sup, mode=mode).mine(db).as_dict()
+    assert got == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_anti_monotonicity_of_result_sets(seed):
+    """Raising the threshold can only shrink the result set."""
+    db = make_random_db(seed, num_sequences=10)
+    low = PTPMiner(0.2).mine(db).as_dict()
+    high = PTPMiner(0.5).mine(db).as_dict()
+    assert set(high) <= set(low)
+    for pattern, support in high.items():
+        assert low[pattern] == support
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), factor=st.integers(2, 4))
+def test_replication_preserves_pattern_set(seed, factor):
+    """Replicating the database preserves relative supports exactly."""
+    db = make_random_db(seed, num_sequences=6)
+    replicated = db.replicated(factor)
+    base = PTPMiner(0.34).mine(db).as_dict()
+    big = PTPMiner(0.34).mine(replicated).as_dict()
+    assert set(big) == set(base)
+    for pattern, support in base.items():
+        assert big[pattern] == support * factor

@@ -1,0 +1,170 @@
+"""Regression tests for subtle cases found while building the miners.
+
+Each test pins a behaviour that once diverged between components (or
+plausibly could). Keep these — they encode the sharp edges of the
+pattern semantics.
+"""
+
+from repro.baselines.bruteforce import BruteForceMiner
+from repro.core.ptpminer import PTPMiner
+from repro.model.database import ESequenceDatabase
+from repro.model.pattern import TemporalPattern
+
+
+def pat(text):
+    return TemporalPattern.parse(text)
+
+
+class TestPointIntervalNumbering:
+    """A same-label point and interval sharing a pointset: the point must
+    take the lower occurrence index (kind order point < start), or the
+    miner's generation numbering diverges from canonical form."""
+
+    def test_canonical_agrees_with_miner(self):
+        db = ESequenceDatabase.from_event_lists(
+            [[(0, 0, "B"), (0, 3, "B")]] * 2
+        )
+        result = PTPMiner(min_sup=2, mode="htp").mine(db)
+        expected = BruteForceMiner(min_sup=2, mode="htp").mine(db)
+        assert result.as_dict() == expected.as_dict()
+        assert pat("(B. B#2+) (B#2-)") in result.pattern_set()
+
+    def test_point_numbered_before_cooccurring_start(self):
+        pattern = TemporalPattern.from_arrangement(
+            [
+                __import__("repro").IntervalEvent(0, 0, "B"),
+                __import__("repro").IntervalEvent(0, 3, "B"),
+            ]
+        )
+        assert str(pattern) == "(B. B#2+) (B#2-)"
+
+
+class TestDuplicateFinishCanonicalRule:
+    """Two same-label intervals opening in one pointset: only canonical
+    finish orders may be generated, or isomorphic twins get counted
+    twice."""
+
+    def test_same_start_different_finish(self):
+        db = ESequenceDatabase.from_event_lists(
+            [[(0, 2, "A"), (0, 5, "A")]] * 3
+        )
+        result = PTPMiner(min_sup=3).mine(db)
+        patterns = {str(p) for p in result.pattern_set()}
+        assert "(A+ A#2+) (A-) (A#2-)" in patterns
+        # The occurrence-swapped twin must NOT appear.
+        assert "(A+ A#2+) (A#2-) (A-)" not in patterns
+
+    def test_counts_match_oracle_exactly(self):
+        db = ESequenceDatabase.from_event_lists(
+            [
+                [(0, 2, "A"), (0, 5, "A"), (1, 3, "A")],
+                [(0, 2, "A"), (0, 5, "A")],
+                [(0, 4, "A"), (0, 4, "A")],
+            ]
+        )
+        assert (
+            PTPMiner(min_sup=2).mine(db).as_dict()
+            == BruteForceMiner(min_sup=2).mine(db).as_dict()
+        )
+
+
+class TestEarliestMatchIncompleteness:
+    """The classical PrefixSpan 'keep only the earliest match' shortcut is
+    UNSOUND for interval patterns: binding a start to a different
+    duplicate occurrence moves where the finish can match. The state
+    machinery must keep the later binding alive."""
+
+    def test_later_binding_required(self):
+        # A occurs twice: [0,2] and [3,9]. Pattern 'B during A' only
+        # embeds through the SECOND A; an earliest-match-only projection
+        # would bind A+ to the first occurrence and miss it.
+        db = ESequenceDatabase.from_event_lists(
+            [[(0, 2, "A"), (3, 9, "A"), (4, 5, "B")]] * 2
+        )
+        result = PTPMiner(min_sup=2).mine(db)
+        assert pat("(A+) (B+) (B-) (A-)") in result.pattern_set()
+
+    def test_injectivity_blocks_reuse(self):
+        # Pattern needs two distinct A's arranged A-before-A; a sequence
+        # with one A must not support it by reusing the occurrence.
+        db = ESequenceDatabase.from_event_lists(
+            [[(0, 2, "A"), (4, 6, "A")], [(0, 2, "A")]]
+        )
+        result = PTPMiner(min_sup=1).mine_weighted(db, [1.0, 1.0], 1.0)
+        assert result.as_dict()[pat("(A+) (A-) (A#2+) (A#2-)")] == 1
+
+
+class TestMeetsSharedPointset:
+    """'A meets B' puts A- and B+ in one pointset; the I-extension path
+    must produce it and the arrangement must survive interpretation."""
+
+    def test_meets_pattern_mined_and_described(self):
+        db = ESequenceDatabase.from_event_lists(
+            [[(0, 3, "A"), (3, 7, "B")]] * 2
+        )
+        result = PTPMiner(min_sup=2).mine(db)
+        meets = pat("(A+) (A- B+) (B-)")
+        assert meets in result.pattern_set()
+        assert meets.allen_description() == ["A meets B"]
+
+    def test_equal_intervals(self):
+        db = ESequenceDatabase.from_event_lists(
+            [[(1, 5, "A"), (1, 5, "B")]] * 2
+        )
+        result = PTPMiner(min_sup=2).mine(db)
+        equal = pat("(A+ B+) (A- B-)")
+        assert equal in result.pattern_set()
+        assert equal.allen_description() == ["A equal B"]
+
+
+class TestPointPruningKeepsSidAlignment:
+    """Point pruning must not renumber sids, or weighted mining reads the
+    wrong weights."""
+
+    def test_weights_follow_sequences(self):
+        db = ESequenceDatabase.from_event_lists(
+            [
+                [(0, 1, "rare1")],  # weight 5, label infrequent
+                [(0, 1, "A")],
+                [(0, 1, "A")],
+            ]
+        )
+        result = PTPMiner(min_sup=1).mine_weighted(
+            db, [5.0, 1.0, 1.0], 2.0
+        )
+        # rare1 is frequent by WEIGHT (5 >= 2) even though it occurs in
+        # one sequence; A's weight is 1+1. Both require the weights to be
+        # read through the original sids.
+        assert result.as_dict() == {
+            pat("(rare1+) (rare1-)"): 5,
+            pat("(A+) (A-)"): 2,
+        }
+        flipped = PTPMiner(min_sup=1).mine_weighted(
+            db, [1.0, 5.0, 1.0], 2.0
+        )
+        assert flipped.as_dict() == {pat("(A+) (A-)"): 6}
+
+
+class TestEmptyAndDegenerateInputs:
+    def test_sequence_emptied_by_point_pruning(self):
+        db = ESequenceDatabase.from_event_lists(
+            [[(0, 1, "x")], [(0, 1, "y")], [(0, 1, "z")]]
+        )
+        result = PTPMiner(min_sup=2).mine(db)
+        assert result.patterns == []
+
+    def test_only_point_events_htp(self):
+        db = ESequenceDatabase.from_event_lists(
+            [[(1, 1, "t")], [(2, 2, "t")]]
+        )
+        result = PTPMiner(min_sup=2, mode="htp").mine(db)
+        assert result.as_dict() == {pat("(t.)"): 2}
+
+    def test_two_points_same_label_same_instant(self):
+        db = ESequenceDatabase.from_event_lists(
+            [[(1, 1, "t"), (1, 1, "t")]] * 2
+        )
+        result = PTPMiner(min_sup=2, mode="htp").mine(db)
+        expected = BruteForceMiner(min_sup=2, mode="htp").mine(db)
+        assert result.as_dict() == expected.as_dict()
+        assert pat("(t. t#2.)") in result.pattern_set()

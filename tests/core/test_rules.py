@@ -1,0 +1,99 @@
+"""Tests for temporal association rule generation."""
+
+import pytest
+
+from repro.core.ptpminer import PTPMiner
+from repro.core.rules import TemporalRule, generate_rules
+from repro.model.pattern import TemporalPattern
+
+from tests.conftest import make_random_db
+
+
+def pat(text):
+    return TemporalPattern.parse(text)
+
+
+class TestTemporalRule:
+    def test_confidence(self):
+        rule = TemporalRule(pat("(A+) (A-)"), pat("(A+) (B+) (A-) (B-)"),
+                            10, 4, 20)
+        assert rule.confidence == pytest.approx(0.4)
+
+    def test_lift(self):
+        rule = TemporalRule(pat("(A+) (A-)"), pat("(A+) (B+) (A-) (B-)"),
+                            10, 4, 20)
+        # base rate of consequent = 4/20 = 0.2; lift = 0.4 / 0.2 = 2.
+        assert rule.lift == pytest.approx(2.0)
+
+    def test_zero_guards(self):
+        rule = TemporalRule(pat("(A+) (A-)"), pat("(A+) (B+) (A-) (B-)"),
+                            0, 0, 0)
+        assert rule.confidence == 0.0
+        assert rule.lift == 0.0
+
+    def test_str(self):
+        rule = TemporalRule(pat("(A+) (A-)"), pat("(A+) (B+) (A-) (B-)"),
+                            10, 5, 20)
+        text = str(rule)
+        assert "=>" in text and "conf 0.50" in text
+
+
+class TestGenerateRules:
+    def test_clinical_rule(self, clinical_db):
+        result = PTPMiner(min_sup=2).mine(clinical_db)
+        rules = generate_rules(result, min_confidence=0.5)
+        texts = {
+            (str(r.antecedent), str(r.consequent)): r for r in rules
+        }
+        key = ("(fever+) (fever-)",
+               "(fever+) (rash+) (rash-) (fever-)")
+        assert key in texts
+        assert texts[key].confidence == pytest.approx(2 / 3)
+
+    def test_min_confidence_filters(self, clinical_db):
+        result = PTPMiner(min_sup=2).mine(clinical_db)
+        strict = generate_rules(result, min_confidence=0.9)
+        loose = generate_rules(result, min_confidence=0.1)
+        assert len(strict) <= len(loose)
+        assert all(r.confidence >= 0.9 for r in strict)
+
+    def test_invalid_confidence(self, clinical_db):
+        result = PTPMiner(min_sup=2).mine(clinical_db)
+        with pytest.raises(ValueError, match="min_confidence"):
+            generate_rules(result, min_confidence=0)
+        with pytest.raises(ValueError, match="min_confidence"):
+            generate_rules(result, min_confidence=1.5)
+
+    def test_consequent_contains_antecedent(self):
+        db = make_random_db(4, num_sequences=12)
+        result = PTPMiner(min_sup=0.2).mine(db)
+        for rule in generate_rules(result, min_confidence=0.3):
+            assert rule.antecedent.contained_in(rule.consequent)
+            assert rule.consequent.size == rule.antecedent.size + 1
+
+    def test_confidence_is_support_ratio(self):
+        db = make_random_db(5, num_sequences=12)
+        result = PTPMiner(min_sup=0.2).mine(db)
+        supports = result.as_dict()
+        for rule in generate_rules(result, min_confidence=0.2):
+            assert rule.confidence == pytest.approx(
+                supports[rule.consequent] / supports[rule.antecedent]
+            )
+
+    def test_sorted_by_confidence(self):
+        db = make_random_db(6, num_sequences=12)
+        rules = generate_rules(
+            PTPMiner(min_sup=0.2).mine(db), min_confidence=0.2
+        )
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_max_rules(self, clinical_db):
+        result = PTPMiner(min_sup=2).mine(clinical_db)
+        rules = generate_rules(result, min_confidence=0.1, max_rules=1)
+        assert len(rules) == 1
+
+    def test_deterministic(self):
+        db = make_random_db(7, num_sequences=12)
+        result = PTPMiner(min_sup=0.2).mine(db)
+        assert generate_rules(result) == generate_rules(result)

@@ -1,0 +1,138 @@
+"""Tests for the real-dataset simulators (ASL, library, stock).
+
+Beyond determinism and shape, these tests verify the *motifs* each
+simulator plants — the domain arrangements the practicability experiment
+(T2) is supposed to surface — are actually mineable at the documented
+supports.
+"""
+
+from repro.core.ptpminer import PTPMiner
+from repro.datagen import generate_asl, generate_library, generate_stock
+from repro.model.pattern import TemporalPattern
+
+
+def pat(text):
+    return TemporalPattern.parse(text)
+
+
+class TestDeterminism:
+    def test_asl(self):
+        assert generate_asl(50, seed=1) == generate_asl(50, seed=1)
+        assert generate_asl(50, seed=1) != generate_asl(50, seed=2)
+
+    def test_library(self):
+        assert generate_library(50, seed=1) == generate_library(50, seed=1)
+
+    def test_stock(self):
+        assert generate_stock(50, seed=1) == generate_stock(50, seed=1)
+
+
+class TestShapes:
+    def test_asl_sizes_and_names(self):
+        db = generate_asl(120, seed=3)
+        assert len(db) == 120
+        assert db.name == "asl-sim"
+        assert "negation" in db.alphabet
+
+    def test_asl_point_markers_flag(self):
+        plain = generate_asl(60, seed=3)
+        marked = generate_asl(60, seed=3, point_markers=True)
+        assert plain.stats().point_event_fraction == 0
+        assert marked.stats().point_event_fraction > 0
+
+    def test_library_alphabet(self):
+        db = generate_library(100, seed=3)
+        assert {"textbook", "reference", "novel"} <= db.alphabet
+
+    def test_stock_alphabet(self):
+        db = generate_stock(100, seed=3)
+        assert any(label.endswith("-up") for label in db.alphabet)
+        assert any(label.endswith("-down") for label in db.alphabet)
+
+
+class TestPlantedMotifs:
+    def test_asl_negation_contains_not(self):
+        db = generate_asl(300, seed=7)
+        pattern = pat("(negation+) (NOT+) (NOT-) (negation-)")
+        # Negation archetype probability ~0.2; containment deterministic.
+        assert pattern.support_in(db) / len(db) > 0.1
+
+    def test_asl_negation_overlaps_head_shake(self):
+        db = generate_asl(300, seed=7)
+        pattern = pat("(negation+) (head-shake+) (negation-) (head-shake-)")
+        assert pattern.support_in(db) > 0.08 * len(db)
+
+    def test_library_textbook_contains_reference(self):
+        db = generate_library(400, seed=7)
+        pattern = pat("(textbook+) (reference+) (reference-) (textbook-)")
+        assert pattern.support_in(db) > 0.3 * len(db)
+
+    def test_library_exam_meets_novel(self):
+        db = generate_library(400, seed=7)
+        pattern = pat("(exam-prep+) (exam-prep- novel+) (novel-)")
+        assert pattern.support_in(db) > 0.15 * len(db)
+
+    def test_stock_comovement(self):
+        db = generate_stock(400, seed=7)
+        found = PTPMiner(min_sup=0.15, max_size=2).mine(db)
+        labels_of = {
+            frozenset(item.pattern.alphabet)
+            for item in found.patterns
+            if item.pattern.size == 2
+        }
+        assert frozenset({"INDEX-up", "TECH1-up"}) in labels_of
+
+    def test_stock_lead_lag_is_mineable(self):
+        db = generate_stock(400, seed=7)
+        pattern = pat("(LEAD-up+) (FOLLOW-up+) (LEAD-up-) (FOLLOW-up-)")
+        assert pattern.support_in(db) > 0.1 * len(db)
+
+
+class TestClinicalSimulator:
+    def test_deterministic(self):
+        from repro.datagen import generate_clinical
+
+        assert generate_clinical(50, seed=1) == generate_clinical(50, seed=1)
+        assert generate_clinical(50, seed=1) != generate_clinical(50, seed=2)
+
+    def test_alphabet_and_name(self):
+        from repro.datagen import generate_clinical
+
+        db = generate_clinical(100, seed=3)
+        assert db.name == "clinical-sim"
+        assert {"fever", "antibiotic", "anticoagulant"} <= db.alphabet
+
+    def test_point_boluses_flag(self):
+        from repro.datagen import generate_clinical
+
+        plain = generate_clinical(80, seed=3)
+        dosed = generate_clinical(80, seed=3, point_boluses=True)
+        assert plain.stats().point_event_fraction == 0
+        assert dosed.stats().point_event_fraction > 0
+
+    def test_infection_pathway_motifs(self):
+        from repro.datagen import generate_clinical
+
+        db = generate_clinical(400, seed=7)
+        contains = pat("(fever+) (rash+) (rash-) (fever-)")
+        assert contains.support_in(db) > 0.15 * len(db)
+        outlasts = pat("(fever+) (antibiotic+) (fever-) (antibiotic-)")
+        assert outlasts.support_in(db) > 0.2 * len(db)
+
+    def test_cardiac_pathway_motifs(self):
+        from repro.datagen import generate_clinical
+
+        db = generate_clinical(400, seed=7)
+        nested = pat(
+            "(anticoagulant+) (monitoring+) (monitoring-) (anticoagulant-)"
+        )
+        assert nested.support_in(db) > 0.1 * len(db)
+
+    def test_bolus_inside_antibiotic_is_htp_minable(self):
+        from repro.core.ptpminer import PTPMiner
+        from repro.datagen import generate_clinical
+
+        db = generate_clinical(300, seed=7, point_boluses=True)
+        result = PTPMiner(0.1, mode="htp").mine(db)
+        inside = pat("(antibiotic+) (bolus.) (antibiotic-)")
+        assert inside in result.pattern_set()

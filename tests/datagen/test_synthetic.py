@@ -1,0 +1,120 @@
+"""Tests for the QUEST-style synthetic generator."""
+
+import pytest
+
+from repro.datagen.synthetic import (
+    STANDARD_DATASETS,
+    SyntheticConfig,
+    SyntheticGenerator,
+    standard_dataset,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SyntheticConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_sequences=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_labels=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(pattern_probability=1.5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(point_fraction=-0.1)
+        with pytest.raises(ValueError):
+            SyntheticConfig(avg_events=0.5)
+
+    def test_dataset_name_tag(self):
+        cfg = SyntheticConfig(num_sequences=500, avg_events=8,
+                              num_labels=50)
+        assert cfg.dataset_name() == "D500C8N50"
+
+    def test_dataset_name_point_suffix(self):
+        cfg = SyntheticConfig(point_fraction=0.3)
+        assert cfg.dataset_name().endswith("P0.3")
+
+    def test_explicit_name_wins(self):
+        assert SyntheticConfig(name="custom").dataset_name() == "custom"
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        cfg = SyntheticConfig(num_sequences=50, seed=5)
+        a = SyntheticGenerator(cfg).generate()
+        b = SyntheticGenerator(cfg).generate()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = SyntheticGenerator(SyntheticConfig(num_sequences=50, seed=1))
+        b = SyntheticGenerator(SyntheticConfig(num_sequences=50, seed=2))
+        assert a.generate() != b.generate()
+
+    def test_size_and_alphabet_bounds(self):
+        db = SyntheticGenerator(
+            SyntheticConfig(num_sequences=80, num_labels=20)
+        ).generate()
+        assert len(db) == 80
+        assert db.alphabet <= {f"e{i}" for i in range(20)}
+
+    def test_avg_events_roughly_respected(self):
+        db = SyntheticGenerator(
+            SyntheticConfig(num_sequences=300, avg_events=8, seed=3)
+        ).generate()
+        avg = db.stats().avg_events_per_sequence
+        assert 6 <= avg <= 11
+
+    def test_point_fraction_produces_points(self):
+        db = SyntheticGenerator(
+            SyntheticConfig(num_sequences=100, point_fraction=0.5, seed=4)
+        ).generate()
+        frac = db.stats().point_event_fraction
+        assert 0.3 <= frac <= 0.7
+
+    def test_no_points_by_default(self):
+        db = SyntheticGenerator(
+            SyntheticConfig(num_sequences=100, seed=4)
+        ).generate()
+        assert db.stats().point_event_fraction == 0.0
+
+    def test_planted_patterns_are_frequent(self):
+        """With pattern_probability 1 and one template, the template's
+        pairwise sub-arrangements must reach high support."""
+        from repro.core.ptpminer import PTPMiner
+
+        cfg = SyntheticConfig(
+            num_sequences=100, num_patterns=1, pattern_probability=1.0,
+            avg_events=4, num_labels=30, seed=9,
+        )
+        db = SyntheticGenerator(cfg).generate()
+        result = PTPMiner(min_sup=0.5, max_size=2).mine(db)
+        assert any(p.pattern.size == 2 for p in result.patterns)
+
+
+class TestStandardDatasets:
+    def test_registry_names(self):
+        assert {"sparse", "dense", "scale-unit", "hybrid", "tiny"} <= set(
+            STANDARD_DATASETS
+        )
+
+    def test_standard_dataset_generates(self):
+        db = standard_dataset("tiny")
+        assert db.name == "tiny"
+        assert len(db) == 60
+
+    def test_overrides(self):
+        db = standard_dataset("tiny", num_sequences=10)
+        assert len(db) == 10
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            standard_dataset("nope")
+
+    def test_hybrid_has_points_others_do_not(self):
+        assert standard_dataset(
+            "hybrid", num_sequences=50
+        ).stats().point_event_fraction > 0
+        assert standard_dataset(
+            "sparse", num_sequences=50
+        ).stats().point_event_fraction == 0

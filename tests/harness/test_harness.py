@@ -1,0 +1,173 @@
+"""Tests for the experiment harness (metrics, tables, figures, runner)."""
+
+import pytest
+
+from repro.core.ptpminer import PTPMiner
+from repro.harness.figures import ascii_chart
+from repro.harness.metrics import RunMetrics, measure
+from repro.harness.runner import ExperimentRunner, MinerSpec
+from repro.harness.tables import format_value, render_table
+
+from tests.conftest import make_random_db
+
+
+class TestMeasure:
+    def test_returns_result_and_timing(self):
+        metrics = measure(lambda: 41 + 1)
+        assert metrics.result == 42
+        assert metrics.elapsed_s >= 0
+
+    def test_memory_tracking_observes_allocation(self):
+        metrics = measure(lambda: [list(range(1000)) for _ in range(100)])
+        assert metrics.peak_mem_bytes > 100_000
+        assert metrics.peak_mem_mb == pytest.approx(
+            metrics.peak_mem_bytes / (1024 * 1024)
+        )
+
+    def test_memory_tracking_optional(self):
+        metrics = measure(lambda: 1, track_memory=False)
+        assert metrics.peak_mem_bytes == 0
+
+    def test_exception_propagates_and_stops_tracing(self):
+        import tracemalloc
+
+        with pytest.raises(RuntimeError):
+            measure(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert not tracemalloc.is_tracing()
+
+    def test_runmetrics_frozen(self):
+        metrics = RunMetrics(1, 0.5, 10)
+        with pytest.raises(AttributeError):
+            metrics.elapsed_s = 2  # type: ignore[misc]
+
+
+class TestTables:
+    def test_render_basic(self):
+        text = render_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T"
+        )
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "22" in text
+
+    def test_missing_cells_blank(self):
+        text = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_explicit_column_order(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_format_value(self):
+        assert format_value(0.123456) == "0.123"
+        assert format_value(12345.6) == "12,346"
+        assert format_value(3) == "3"
+        assert format_value(123456) == "123,456"
+        assert format_value(True) == "True"
+        assert format_value("x") == "x"
+
+    def test_empty_rows(self):
+        assert render_table([], columns=["a"])
+
+
+class TestFigures:
+    def test_chart_contains_legend_and_bounds(self):
+        chart = ascii_chart(
+            {"m1": [(1, 10), (2, 20)], "m2": [(1, 5), (2, 40)]},
+            title="runtime",
+        )
+        assert "runtime" in chart
+        assert "m1" in chart and "m2" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_log_scale(self):
+        chart = ascii_chart(
+            {"m": [(1, 1), (2, 1000)]}, log_y=True
+        )
+        assert "log scale" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+
+    def test_single_point(self):
+        chart = ascii_chart({"m": [(1, 5)]}, log_y=False)
+        assert "5" in chart
+
+
+class TestRunner:
+    def test_sweep_collects_rows(self):
+        db = make_random_db(1, num_sequences=10)
+        runner = ExperimentRunner("demo", x_name="min_sup")
+        specs = [MinerSpec("ptp", lambda ms: PTPMiner(ms))]
+        result = runner.sweep(db, [0.3, 0.5], specs)
+        assert len(result.rows) == 2
+        assert all(row["miner"] == "ptp" for row in result.rows)
+        assert all("runtime_s" in row for row in result.rows)
+        assert all("patterns" in row for row in result.rows)
+
+    def test_memory_column_optional(self):
+        db = make_random_db(1, num_sequences=5)
+        runner = ExperimentRunner("demo")
+        runner.run_point(
+            db, 0.5, [MinerSpec("ptp", lambda ms: PTPMiner(ms))],
+            track_memory=True,
+        )
+        assert "peak_mem_mb" in runner.result.rows[0]
+
+    def test_series_extraction(self):
+        db = make_random_db(1, num_sequences=8)
+        runner = ExperimentRunner("demo")
+        runner.sweep(
+            db, [0.3, 0.5], [MinerSpec("ptp", lambda ms: PTPMiner(ms))]
+        )
+        series = runner.result.series("patterns")
+        assert list(series) == ["ptp"]
+        assert len(series["ptp"]) == 2
+
+    def test_table_and_chart_render(self):
+        db = make_random_db(1, num_sequences=8)
+        runner = ExperimentRunner("demo")
+        runner.sweep(
+            db, [0.3, 0.5], [MinerSpec("ptp", lambda ms: PTPMiner(ms))]
+        )
+        assert "demo" in runner.result.table()
+        assert "legend" in runner.result.chart("runtime_s")
+
+    def test_extra_columns(self):
+        db = make_random_db(1, num_sequences=5)
+        runner = ExperimentRunner("demo")
+        runner.run_point(
+            db, 0.5, [MinerSpec("ptp", lambda ms: PTPMiner(ms))],
+            extra={"phase": "warm"},
+        )
+        assert runner.result.rows[0]["phase"] == "warm"
+
+
+class TestCsvExport:
+    def test_rows_round_trip_through_csv(self, tmp_path):
+        import csv
+
+        from repro.harness.runner import write_rows_csv
+
+        db = make_random_db(1, num_sequences=8)
+        runner = ExperimentRunner("demo")
+        runner.sweep(
+            db, [0.3, 0.5], [MinerSpec("ptp", lambda ms: PTPMiner(ms))]
+        )
+        path = tmp_path / "rows.csv"
+        write_rows_csv(runner.result, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["miner"] == "ptp"
+        assert float(rows[0]["min_sup"]) == 0.3
+        assert "runtime_s" in rows[0]
+
+    def test_empty_sweep(self, tmp_path):
+        from repro.harness.runner import write_rows_csv
+
+        runner = ExperimentRunner("empty")
+        path = tmp_path / "rows.csv"
+        write_rows_csv(runner.result, path)
+        assert path.read_text() == "\r\n" or path.read_text() == "\n"

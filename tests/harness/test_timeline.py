@@ -1,0 +1,66 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.harness.timeline import render_pattern, render_sequence
+from repro.model.pattern import TemporalPattern
+from repro.model.sequence import ESequence
+
+from tests.conftest import seq
+
+
+class TestRenderSequence:
+    def test_labels_listed(self):
+        out = render_sequence(seq((0, 5, "fever"), (2, 4, "rash")))
+        assert "fever" in out
+        assert "rash" in out
+
+    def test_interval_bar_shape(self):
+        out = render_sequence(seq((0, 10, "A")), width=11, label_width=2)
+        row = out.splitlines()[0]
+        assert row == "A |=========|"
+
+    def test_point_event_star(self):
+        out = render_sequence(seq((0, 4, "A"), (2, 2, "tick")))
+        tick_row = next(
+            line for line in out.splitlines() if line.startswith("tick")
+        )
+        assert "*" in tick_row
+        assert "=" not in tick_row
+
+    def test_duplicate_labels_get_suffix(self):
+        out = render_sequence(seq((0, 2, "A"), (4, 6, "A")))
+        assert "A#2" in out
+
+    def test_axis_bounds(self):
+        out = render_sequence(seq((3, 17, "A")))
+        axis = out.splitlines()[-1]
+        assert "3" in axis and "17" in axis
+
+    def test_empty_sequence(self):
+        assert "empty" in render_sequence(ESequence([]))
+
+    def test_containment_is_visible(self):
+        out = render_sequence(
+            seq((0, 10, "outer"), (3, 6, "inner")), width=21, label_width=6
+        )
+        outer_row, inner_row = out.splitlines()[:2]
+        assert outer_row.index("|") < inner_row.index("|")
+        assert outer_row.rindex("|") > inner_row.rindex("|")
+
+
+class TestRenderPattern:
+    def test_complete_pattern_renders(self):
+        out = render_pattern(TemporalPattern.parse("(A+) (B+) (A-) (B-)"))
+        assert "A" in out and "B" in out
+
+    def test_incomplete_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unfinished"):
+            render_pattern(TemporalPattern.parse("(A+)"))
+
+    def test_hybrid_pattern_renders_star(self):
+        out = render_pattern(TemporalPattern.parse("(A+) (t.) (A-)"))
+        t_row = next(
+            line for line in out.splitlines() if line.startswith("t ")
+        )
+        assert "*" in t_row

@@ -1,0 +1,137 @@
+"""Unit tests for ESequenceDatabase."""
+
+import pytest
+
+from repro.model.database import ESequenceDatabase
+from repro.model.sequence import ESequence
+
+from tests.conftest import seq
+
+
+def small_db():
+    return ESequenceDatabase(
+        [
+            seq((0, 3, "A"), (1, 4, "B")),
+            seq((0, 2, "A")),
+            seq((5, 5, "C"), (0, 1, "A"), (0, 1, "A")),
+        ],
+        name="small",
+    )
+
+
+class TestBasics:
+    def test_sids_are_dense_positions(self):
+        db = small_db()
+        assert [s.sid for s in db] == [0, 1, 2]
+
+    def test_resequencing_on_construction(self):
+        tagged = ESequence([], sid=99)
+        db = ESequenceDatabase([tagged])
+        assert db[0].sid == 0
+
+    def test_len_and_indexing(self):
+        db = small_db()
+        assert len(db) == 3
+        assert db[1].alphabet == {"A"}
+
+    def test_rejects_non_sequences(self):
+        with pytest.raises(TypeError, match="ESequence"):
+            ESequenceDatabase([[(0, 1, "A")]])  # type: ignore[list-item]
+
+    def test_equality_ignores_name(self):
+        a = small_db()
+        b = ESequenceDatabase(small_db().sequences, name="other")
+        assert a == b
+
+    def test_from_event_lists(self):
+        db = ESequenceDatabase.from_event_lists([[(0, 1, "A")], []])
+        assert len(db) == 2
+        assert len(db[1]) == 0
+
+    def test_repr(self):
+        assert "3 sequences" in repr(small_db())
+
+
+class TestSupportArithmetic:
+    def test_relative_support(self):
+        db = small_db()
+        assert db.absolute_support(0.5) == 2
+        assert db.absolute_support(1.0) == 3
+        assert db.absolute_support(0.01) == 1
+
+    def test_absolute_support_passthrough(self):
+        assert small_db().absolute_support(2) == 2
+
+    def test_absolute_support_fractional_count_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            small_db().absolute_support(2.5)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            small_db().absolute_support(0)
+
+
+class TestStatistics:
+    def test_alphabet(self):
+        assert small_db().alphabet == {"A", "B", "C"}
+
+    def test_label_document_frequency(self):
+        df = small_db().label_document_frequency()
+        assert df == {"A": 3, "B": 1, "C": 1}
+
+    def test_stats_values(self):
+        stats = small_db().stats()
+        assert stats.num_sequences == 3
+        assert stats.num_events == 6
+        assert stats.alphabet_size == 3
+        assert stats.max_events_per_sequence == 3
+        assert stats.point_event_fraction == pytest.approx(1 / 6)
+        assert stats.duplicate_sequence_fraction == pytest.approx(1 / 3)
+
+    def test_stats_empty_db(self):
+        stats = ESequenceDatabase([]).stats()
+        assert stats.num_sequences == 0
+        assert stats.as_row()["sequences"] == 0
+
+    def test_stats_as_row_keys(self):
+        row = small_db().stats().as_row()
+        assert set(row) == {
+            "sequences", "events", "|Sigma|", "avg_len", "max_len",
+            "avg_dur", "point_frac", "dup_frac",
+        }
+
+
+class TestTransforms:
+    def test_filter_sequences(self):
+        db = small_db().filter_sequences(lambda s: len(s) >= 2)
+        assert len(db) == 2
+        assert [s.sid for s in db] == [0, 1]
+
+    def test_restricted_to_drops_empty(self):
+        db = small_db().restricted_to({"B"})
+        assert len(db) == 1
+        assert db[0].alphabet == {"B"}
+
+    def test_without_point_events(self):
+        db = small_db().without_point_events()
+        assert all(not s.has_point_events for s in db)
+        assert len(db) == 3  # C-only sequence retains its A events
+
+    def test_replicated_preserves_relative_support(self):
+        db = small_db()
+        big = db.replicated(4)
+        assert len(big) == 12
+        ratio = big.label_document_frequency()["A"] / len(big)
+        assert ratio == db.label_document_frequency()["A"] / len(db)
+
+    def test_replicated_rejects_zero(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            small_db().replicated(0)
+
+    def test_sample_deterministic(self):
+        db = small_db()
+        assert db.sample(2, seed=1) == db.sample(2, seed=1)
+
+    def test_sample_larger_than_db_is_identity(self):
+        db = small_db()
+        assert db.sample(10) is db

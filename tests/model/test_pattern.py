@@ -1,0 +1,372 @@
+"""Unit tests for TemporalPattern: structure, canonical form, containment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.event import IntervalEvent
+from repro.model.pattern import PatternWithSupport, TemporalPattern
+from repro.temporal.endpoint import FINISH, POINT, START, Endpoint
+
+from tests.conftest import make_random_db, seq
+
+
+def pat(text: str) -> TemporalPattern:
+    return TemporalPattern.parse(text)
+
+
+class TestValidation:
+    def test_simple_interval_pattern(self):
+        p = pat("(A+) (A-)")
+        assert p.num_intervals == 1
+        assert p.is_complete
+
+    def test_finish_without_start_rejected(self):
+        with pytest.raises(ValueError, match="precedes its start"):
+            pat("(A-)")
+
+    def test_start_and_finish_same_pointset_rejected(self):
+        with pytest.raises(ValueError, match="point token"):
+            pat("(A+ A-)")
+
+    def test_duplicate_token_in_pointset_rejected(self):
+        with pytest.raises(ValueError, match="duplicate token"):
+            TemporalPattern([[Endpoint("A", 1, START), Endpoint("A", 1, START)]])
+
+    def test_empty_pointset_rejected(self):
+        with pytest.raises(ValueError, match="empty pointsets"):
+            TemporalPattern([[]])
+
+    def test_occurrence_numbering_must_be_contiguous(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            pat("(A#2+) (A#2-)")
+
+    def test_occurrence_reintroduction_rejected(self):
+        with pytest.raises(ValueError, match="introduced twice"):
+            pat("(A+) (A-) (A+) (A-)")
+
+    def test_zero_occurrence_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            TemporalPattern([[Endpoint("A", 0, START)]])
+
+    def test_incomplete_pattern_is_valid_but_incomplete(self):
+        p = pat("(A+)")
+        assert not p.is_complete
+        assert p.open_occurrences == {("A", 1)}
+
+
+class TestParsing:
+    def test_str_round_trip(self):
+        text = "(A+ B+) (A-) (B- C.)"
+        assert str(pat(text)) == text
+
+    def test_occurrence_suffix_round_trip(self):
+        text = "(A+ A#2+) (A-) (A#2-)"
+        assert str(pat(text)) == text
+
+    def test_parse_rejects_stray_token(self):
+        with pytest.raises(ValueError, match="outside"):
+            pat("A+ (B+)")
+
+    def test_parse_rejects_unbalanced(self):
+        with pytest.raises(ValueError, match="unterminated|unbalanced"):
+            pat("(A+")
+
+    def test_parse_rejects_nested(self):
+        with pytest.raises(ValueError, match="nested"):
+            pat("((A+))")
+
+    def test_endpoint_parse_forms(self):
+        assert Endpoint.parse("A+") == Endpoint("A", 1, START)
+        assert Endpoint.parse("A#3-") == Endpoint("A", 3, FINISH)
+        assert Endpoint.parse("tick.") == Endpoint("tick", 1, POINT)
+
+    def test_endpoint_parse_errors(self):
+        with pytest.raises(ValueError):
+            Endpoint.parse("A")
+        with pytest.raises(ValueError):
+            Endpoint.parse("+")
+
+
+class TestStructure:
+    def test_counts(self):
+        p = pat("(A+ B.) (A-) (C+) (C-)")
+        assert p.num_intervals == 2
+        assert p.num_points == 1
+        assert p.size == 3
+        assert p.num_tokens == 5
+
+    def test_is_hybrid(self):
+        assert pat("(A.)").is_hybrid
+        assert not pat("(A+) (A-)").is_hybrid
+
+    def test_alphabet(self):
+        assert pat("(A+ B.) (A-)").alphabet == {"A", "B"}
+
+    def test_to_esequence_realizes_arrangement(self):
+        es = pat("(A+) (B+) (A-) (B-)").to_esequence()
+        a = next(ev for ev in es if ev.label == "A")
+        b = next(ev for ev in es if ev.label == "B")
+        assert a.start < b.start < a.finish < b.finish  # A overlaps B
+
+    def test_to_esequence_incomplete_raises(self):
+        with pytest.raises(ValueError, match="unfinished"):
+            pat("(A+)").to_esequence()
+
+
+class TestCanonical:
+    def test_already_canonical(self):
+        p = pat("(A+ A#2+) (A-) (A#2-)")
+        assert p.is_canonical
+
+    def test_swapped_duplicates_normalize(self):
+        # Occurrence 2 finishing before occurrence 1 with equal starts is
+        # the non-canonical twin of the pattern above.
+        raw = TemporalPattern(
+            [
+                [Endpoint("A", 1, START), Endpoint("A", 2, START)],
+                [Endpoint("A", 2, FINISH)],
+                [Endpoint("A", 1, FINISH)],
+            ]
+        )
+        assert not raw.is_canonical
+        assert raw.canonical() == pat("(A+ A#2+) (A-) (A#2-)")
+
+    def test_point_before_interval_same_pointset(self):
+        # A point occurrence in the same pointset as an interval start must
+        # take the lower occurrence index.
+        p = pat("(A. A#2+) (A#2-)")
+        assert p.is_canonical
+
+    def test_canonical_is_idempotent(self):
+        p = pat("(A+ A#2+) (B+) (A-) (B- A#2-)")
+        assert p.canonical().canonical() == p.canonical()
+
+
+class TestFromArrangement:
+    def test_overlap_arrangement(self):
+        p = TemporalPattern.from_arrangement(
+            [IntervalEvent(0, 4, "A"), IntervalEvent(2, 6, "B")]
+        )
+        assert str(p) == "(A+) (B+) (A-) (B-)"
+
+    def test_meets_shares_pointset(self):
+        p = TemporalPattern.from_arrangement(
+            [IntervalEvent(0, 4, "A"), IntervalEvent(4, 6, "B")]
+        )
+        assert str(p) == "(A+) (A- B+) (B-)"
+
+    def test_point_event(self):
+        p = TemporalPattern.from_arrangement(
+            [IntervalEvent(0, 4, "A"), IntervalEvent(2, 2, "tick")]
+        )
+        assert str(p) == "(A+) (tick.) (A-)"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero events"):
+            TemporalPattern.from_arrangement([])
+
+    def test_result_always_canonical(self):
+        p = TemporalPattern.from_arrangement(
+            [IntervalEvent(0, 9, "A"), IntervalEvent(0, 3, "A"),
+             IntervalEvent(1, 1, "A")]
+        )
+        assert p.is_canonical
+
+
+class TestContainment:
+    def test_exact_match(self):
+        s = seq((0, 4, "A"), (2, 6, "B"))
+        assert pat("(A+) (B+) (A-) (B-)").contained_in(s)
+
+    def test_sub_arrangement(self):
+        s = seq((0, 4, "A"), (2, 6, "B"))
+        assert pat("(A+) (A-)").contained_in(s)
+        assert pat("(B+) (B-)").contained_in(s)
+
+    def test_wrong_arrangement_rejected(self):
+        s = seq((0, 4, "A"), (2, 6, "B"))  # A overlaps B
+        assert not pat("(A+) (A-) (B+) (B-)").contained_in(s)  # A before B
+        assert not pat("(A+ B+) (A-) (B-)").contained_in(s)  # A starts-with B
+
+    def test_pointset_subset_semantics(self):
+        s = seq((0, 4, "A"), (0, 6, "B"), (0, 2, "C"))
+        assert pat("(A+ B+) (A-) (B-)").contained_in(s)
+
+    def test_occurrence_pairing_enforced(self):
+        # Two A intervals: [0,2] and [5,9]; B at [3,4] sits between them.
+        # The pattern "B during A" must NOT match by mixing A#1's start
+        # with A#2's finish.
+        s = seq((0, 2, "A"), (5, 9, "A"), (3, 4, "B"))
+        assert not pat("(A+) (B+) (B-) (A-)").contained_in(s)
+
+    def test_occurrence_pairing_positive_case(self):
+        s = seq((0, 10, "A"), (3, 4, "B"))
+        assert pat("(A+) (B+) (B-) (A-)").contained_in(s)
+
+    def test_injectivity_of_occurrences(self):
+        # Pattern wants two distinct A intervals in sequence with only one.
+        s = seq((0, 2, "A"))
+        assert not pat("(A+) (A-) (A#2+) (A#2-)").contained_in(s)
+
+    def test_duplicate_occurrences_matched(self):
+        s = seq((0, 2, "A"), (4, 6, "A"))
+        assert pat("(A+) (A-) (A#2+) (A#2-)").contained_in(s)
+
+    def test_point_tokens_match_only_points(self):
+        s = seq((0, 4, "A"))
+        assert not pat("(A.)").contained_in(s)
+        s2 = seq((2, 2, "A"))
+        assert pat("(A.)").contained_in(s2)
+        assert not pat("(A+) (A-)").contained_in(s2)
+
+    def test_empty_pattern_contained_everywhere(self):
+        empty = TemporalPattern([])
+        assert empty.contained_in(seq((0, 1, "A")))
+
+    def test_pattern_in_pattern_subsumption(self):
+        small = pat("(A+) (A-)")
+        big = pat("(A+) (B+) (A-) (B-)")
+        assert small.contained_in(big)
+        assert not big.contained_in(small)
+
+    def test_support_in(self, clinical_db):
+        assert pat("(fever+) (fever-)").support_in(clinical_db) == 3
+        # 'fever contains rash' holds in s0 and s1 only.
+        assert pat("(fever+) (rash+) (rash-) (fever-)").support_in(
+            clinical_db
+        ) == 2
+        # 'fever meets rash' only in s2.
+        assert pat("(fever+) (fever- rash+) (rash-)").support_in(
+            clinical_db
+        ) == 1
+
+    def test_contained_in_accepts_pattern_and_endpoint_sequence(self):
+        from repro.temporal.endpoint import EndpointSequence
+
+        s = seq((0, 4, "A"), (2, 6, "B"))
+        eps = EndpointSequence.from_esequence(s)
+        assert pat("(A+) (A-)").contained_in(eps)
+
+
+class TestAllenDescription:
+    def test_overlap_description(self):
+        lines = pat("(A+) (B+) (A-) (B-)").allen_description()
+        assert lines == ["A overlaps B"]
+
+    def test_three_way_description(self):
+        lines = pat("(A+) (B+) (B-) (A-)").allen_description()
+        assert lines == ["A contains B"]
+
+    def test_duplicate_labels_tagged(self):
+        lines = pat("(A+) (A-) (A#2+) (A#2-)").allen_description()
+        assert lines == ["A before A#2"]
+
+    def test_point_relations(self):
+        lines = pat("(A+) (tick.) (A-)").allen_description()
+        assert lines == ["A contains tick"]
+
+
+class TestPatternWithSupport:
+    def test_named_access(self):
+        p = pat("(A+) (A-)")
+        item = PatternWithSupport(p, 7)
+        assert item.pattern is p
+        assert item.support == 7
+
+    def test_relative_support(self):
+        item = PatternWithSupport(pat("(A+) (A-)"), 5)
+        assert item.relative_support(10) == 0.5
+        assert item.relative_support(0) == 0.0
+
+    def test_sort_key_orders_by_support_then_size(self):
+        a = PatternWithSupport(pat("(A+) (A-)"), 9)
+        b = PatternWithSupport(pat("(B+) (B-)"), 3)
+        c = PatternWithSupport(pat("(A+) (B+) (A-) (B-)"), 3)
+        assert sorted([c, b, a], key=PatternWithSupport.sort_key) == [a, b, c]
+
+    def test_tuple_compatibility(self):
+        item = PatternWithSupport(pat("(A+) (A-)"), 2)
+        pattern, support = item
+        assert support == 2
+        assert pattern == pat("(A+) (A-)")
+
+
+# ---------------------------------------------------------------------------
+# property-based: containment invariances
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), delta=st.integers(-20, 20),
+       factor=st.integers(1, 4))
+def test_containment_invariant_under_shift_and_scale(seed, delta, factor):
+    """Patterns describe arrangements, so any order-preserving time
+    transform of the sequence preserves containment."""
+    db = make_random_db(seed, num_sequences=3, max_events=4)
+    source = db[0]
+    if len(source) == 0:
+        return
+    pattern = TemporalPattern.from_arrangement(list(source.events[:2]))
+    transformed = source.scaled(factor).shifted(delta)
+    assert pattern.contained_in(source)
+    assert pattern.contained_in(transformed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_from_arrangement_is_contained_in_origin(seed):
+    db = make_random_db(seed, num_sequences=2, max_events=5,
+                        point_fraction=0.3)
+    for s in db:
+        if len(s) == 0:
+            continue
+        pattern = TemporalPattern.from_arrangement(list(s.events))
+        assert pattern.contained_in(s)
+        assert pattern.is_canonical
+
+
+class TestEmbeddings:
+    def test_single_embedding(self):
+        s = seq((0, 4, "A"), (2, 6, "B"))
+        embeddings = pat("(A+) (B+) (A-) (B-)").embeddings_in(s)
+        assert len(embeddings) == 1
+        assert embeddings[0][("A", 1)] == IntervalEvent(0, 4, "A")
+        assert embeddings[0][("B", 1)] == IntervalEvent(2, 6, "B")
+
+    def test_multiple_embeddings_with_duplicates(self):
+        s = seq((0, 2, "A"), (4, 6, "A"), (8, 10, "A"))
+        embeddings = pat("(A+) (A-)").embeddings_in(s)
+        matched = {e[("A", 1)].start for e in embeddings}
+        assert matched == {0, 4, 8}
+
+    def test_limit(self):
+        s = seq((0, 2, "A"), (4, 6, "A"), (8, 10, "A"))
+        assert len(pat("(A+) (A-)").embeddings_in(s, limit=2)) == 2
+
+    def test_no_embeddings(self):
+        s = seq((0, 2, "A"))
+        assert pat("(B+) (B-)").embeddings_in(s) == []
+
+    def test_consistent_with_contained_in(self):
+        from tests.conftest import make_random_db
+
+        db = make_random_db(13, num_sequences=8, point_fraction=0.2)
+        for s in db:
+            if len(s) < 2:
+                continue
+            pattern = TemporalPattern.from_arrangement(list(s.events[:2]))
+            assert bool(pattern.embeddings_in(s)) == pattern.contained_in(s)
+
+    def test_occurrence_pairing_in_embedding(self):
+        # B sits inside the SECOND A only; the embedding must bind A#1 of
+        # the pattern to the sequence's second A occurrence.
+        s = seq((0, 2, "A"), (3, 9, "A"), (4, 5, "B"))
+        embeddings = pat("(A+) (B+) (B-) (A-)").embeddings_in(s)
+        assert len(embeddings) == 1
+        assert embeddings[0][("A", 1)] == IntervalEvent(3, 9, "A")
+
+    def test_point_event_embedding(self):
+        s = seq((0, 4, "I"), (2, 2, "tick"))
+        embeddings = pat("(I+) (tick.) (I-)").embeddings_in(s)
+        assert embeddings[0][("tick", 1)].is_point

@@ -1,0 +1,164 @@
+"""Unit tests for ESequence."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.event import IntervalEvent
+from repro.model.sequence import ESequence
+
+from tests.conftest import events, seq
+
+
+class TestConstruction:
+    def test_events_sorted_canonically(self):
+        s = seq((5, 9, "B"), (0, 3, "A"), (0, 2, "C"))
+        assert [ev.label for ev in s] == ["C", "A", "B"]
+
+    def test_equal_regardless_of_input_order(self):
+        a = seq((0, 3, "A"), (1, 4, "B"))
+        b = seq((1, 4, "B"), (0, 3, "A"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError, match="IntervalEvent"):
+            ESequence([(0, 1, "A")])  # type: ignore[list-item]
+
+    def test_empty_sequence_allowed(self):
+        s = ESequence([])
+        assert len(s) == 0
+        assert not s
+
+    def test_duplicate_events_kept(self):
+        s = seq((0, 3, "A"), (0, 3, "A"))
+        assert len(s) == 2
+
+    def test_indexing_and_iteration(self):
+        s = seq((0, 3, "A"), (1, 4, "B"))
+        assert s[0].label == "A"
+        assert [ev.label for ev in s] == ["A", "B"]
+
+    def test_repr_mentions_events(self):
+        s = seq((0, 3, "A"))
+        assert "A[0,3]" in repr(s)
+
+
+class TestStatistics:
+    def test_span(self):
+        assert seq((2, 5, "A"), (0, 9, "B")).span == (0, 9)
+
+    def test_span_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            ESequence([]).span
+
+    def test_alphabet(self):
+        assert seq((0, 1, "A"), (2, 3, "B"), (4, 5, "A")).alphabet == {
+            "A",
+            "B",
+        }
+
+    def test_label_counts(self):
+        counts = seq((0, 1, "A"), (2, 3, "A"), (4, 5, "B")).label_counts()
+        assert counts == {"A": 2, "B": 1}
+
+    def test_has_duplicates(self):
+        assert seq((0, 1, "A"), (2, 3, "A")).has_duplicates
+        assert not seq((0, 1, "A"), (2, 3, "B")).has_duplicates
+        assert not ESequence([]).has_duplicates
+
+    def test_has_point_events(self):
+        assert seq((1, 1, "A")).has_point_events
+        assert not seq((1, 2, "A")).has_point_events
+
+    def test_interval_and_point_partitions(self):
+        s = seq((0, 2, "A"), (1, 1, "B"), (3, 5, "C"))
+        assert [ev.label for ev in s.interval_events()] == ["A", "C"]
+        assert [ev.label for ev in s.point_events()] == ["B"]
+
+
+class TestTransforms:
+    def test_shift_preserves_structure(self):
+        s = seq((0, 3, "A"), (1, 4, "B"))
+        shifted = s.shifted(10)
+        assert [ev.as_tuple() for ev in shifted] == [
+            (10, 13, "A"),
+            (11, 14, "B"),
+        ]
+
+    def test_normalized_moves_min_to_zero(self):
+        s = seq((5, 8, "A"), (7, 9, "B"))
+        assert s.normalized().span == (0, 4)
+
+    def test_normalized_empty_is_noop(self):
+        s = ESequence([])
+        assert s.normalized() is s
+
+    def test_scaled(self):
+        s = seq((1, 2, "A")).scaled(3)
+        assert s[0].as_tuple() == (3, 6, "A")
+
+    def test_restricted_to(self):
+        s = seq((0, 1, "A"), (2, 3, "B"), (4, 5, "C"))
+        assert s.restricted_to({"A", "C"}).alphabet == {"A", "C"}
+
+    def test_with_sid(self):
+        s = seq((0, 1, "A"))
+        tagged = s.with_sid(7)
+        assert tagged.sid == 7
+        assert tagged == s
+
+    def test_shift_keeps_sid(self):
+        s = ESequence(events((0, 1, "A")), sid=3).shifted(5)
+        assert s.sid == 3
+
+
+class TestOccurrenceIndexing:
+    def test_single_occurrences(self):
+        s = seq((0, 1, "A"), (2, 3, "B"))
+        assert [(ev.label, occ) for ev, occ in s.occurrence_indexed()] == [
+            ("A", 1),
+            ("B", 1),
+        ]
+
+    def test_duplicates_numbered_in_canonical_order(self):
+        s = seq((5, 9, "A"), (0, 3, "A"), (1, 2, "B"))
+        tagged = [(ev.as_tuple(), occ) for ev, occ in s.occurrence_indexed()]
+        assert tagged == [
+            ((0, 3, "A"), 1),
+            ((1, 2, "B"), 1),
+            ((5, 9, "A"), 2),
+        ]
+
+    def test_same_start_ordered_by_finish(self):
+        s = seq((0, 9, "A"), (0, 3, "A"))
+        tagged = [(ev.finish, occ) for ev, occ in s.occurrence_indexed()]
+        assert tagged == [(3, 1), (9, 2)]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 20),
+            st.integers(0, 10),
+            st.sampled_from("ABC"),
+        ),
+        max_size=8,
+    )
+)
+def test_construction_order_invariance(triples):
+    evs = [IntervalEvent(s, s + d, label) for s, d, label in triples]
+    assert ESequence(evs) == ESequence(reversed(evs))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 10)),
+        min_size=1,
+        max_size=8,
+    ),
+    st.integers(-50, 50),
+)
+def test_shift_round_trip(pairs, delta):
+    s = ESequence(IntervalEvent(a, a + d, "X") for a, d in pairs)
+    assert s.shifted(delta).shifted(-delta) == s

@@ -1,0 +1,187 @@
+"""Unit and property tests for the Allen interval algebra."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.event import IntervalEvent
+from repro.temporal.allen import (
+    ALL_RELATIONS,
+    BASE_RELATIONS,
+    AllenRelation,
+    compose,
+    relate,
+    relate_general,
+)
+
+
+def iv(s, f):
+    return IntervalEvent(s, f, "x")
+
+
+CLASSIFICATION_CASES = [
+    ((0, 2), (4, 6), AllenRelation.BEFORE),
+    ((4, 6), (0, 2), AllenRelation.AFTER),
+    ((0, 3), (3, 6), AllenRelation.MEETS),
+    ((3, 6), (0, 3), AllenRelation.MET_BY),
+    ((0, 4), (2, 6), AllenRelation.OVERLAPS),
+    ((2, 6), (0, 4), AllenRelation.OVERLAPPED_BY),
+    ((0, 3), (0, 6), AllenRelation.STARTS),
+    ((0, 6), (0, 3), AllenRelation.STARTED_BY),
+    ((2, 4), (0, 6), AllenRelation.DURING),
+    ((0, 6), (2, 4), AllenRelation.CONTAINS),
+    ((3, 6), (0, 6), AllenRelation.FINISHES),
+    ((0, 6), (3, 6), AllenRelation.FINISHED_BY),
+    ((1, 5), (1, 5), AllenRelation.EQUAL),
+]
+
+
+class TestClassification:
+    @pytest.mark.parametrize("a,b,expected", CLASSIFICATION_CASES)
+    def test_all_thirteen_relations(self, a, b, expected):
+        assert relate(iv(*a), iv(*b)) is expected
+
+    def test_point_events_rejected(self):
+        with pytest.raises(ValueError, match="proper intervals"):
+            relate(iv(1, 1), iv(0, 4))
+        with pytest.raises(ValueError, match="proper intervals"):
+            relate(iv(0, 4), iv(2, 2))
+
+    def test_exactly_one_relation_holds(self):
+        """Every proper-interval pair classifies to exactly one relation
+        (exhaustive over a small grid)."""
+        intervals = [
+            (s, f) for s in range(5) for f in range(5) if s < f
+        ]
+        for a, b in itertools.product(intervals, repeat=2):
+            rel = relate(iv(*a), iv(*b))
+            assert rel in ALL_RELATIONS
+
+    def test_thirteen_distinct_relations_reachable(self):
+        intervals = [
+            (s, f) for s in range(6) for f in range(6) if s < f
+        ]
+        seen = {
+            relate(iv(*a), iv(*b))
+            for a, b in itertools.product(intervals, repeat=2)
+        }
+        assert seen == set(ALL_RELATIONS)
+
+
+class TestGeneralClassification:
+    def test_point_inside_interval_is_during(self):
+        assert relate_general(iv(2, 2), iv(0, 5)) is AllenRelation.DURING
+
+    def test_point_at_start_is_starts(self):
+        assert relate_general(iv(0, 0), iv(0, 5)) is AllenRelation.STARTS
+
+    def test_point_at_finish_is_finishes(self):
+        assert relate_general(iv(5, 5), iv(0, 5)) is AllenRelation.FINISHES
+
+    def test_coincident_points_equal(self):
+        assert relate_general(iv(3, 3), iv(3, 3)) is AllenRelation.EQUAL
+
+    def test_point_before_interval(self):
+        assert relate_general(iv(0, 0), iv(2, 5)) is AllenRelation.BEFORE
+
+    def test_point_at_own_finish_is_finished_by(self):
+        # A proper interval whose finish coincides with a point: the point
+        # FINISHES the interval, so the interval is FINISHED_BY it.
+        assert relate_general(iv(0, 2), iv(2, 2)) is AllenRelation.FINISHED_BY
+
+    def test_points_order_as_before_after(self):
+        assert relate_general(iv(1, 1), iv(4, 4)) is AllenRelation.BEFORE
+        assert relate_general(iv(4, 4), iv(1, 1)) is AllenRelation.AFTER
+
+    def test_matches_relate_on_proper_intervals(self):
+        for a, b, expected in CLASSIFICATION_CASES:
+            assert relate_general(iv(*a), iv(*b)) is expected
+
+
+class TestInverses:
+    @pytest.mark.parametrize("rel", ALL_RELATIONS)
+    def test_inverse_is_involution(self, rel):
+        assert rel.inverse.inverse is rel
+
+    def test_equal_is_self_inverse(self):
+        assert AllenRelation.EQUAL.inverse is AllenRelation.EQUAL
+
+    def test_base_relations_have_non_base_inverses(self):
+        for rel in BASE_RELATIONS:
+            assert rel.inverse not in BASE_RELATIONS
+
+    @given(
+        a=st.tuples(st.integers(0, 20), st.integers(1, 10)),
+        b=st.tuples(st.integers(0, 20), st.integers(1, 10)),
+    )
+    def test_relate_antisymmetry(self, a, b):
+        ia, ib = iv(a[0], a[0] + a[1]), iv(b[0], b[0] + b[1])
+        assert relate(ia, ib).inverse is relate(ib, ia)
+
+    def test_describe(self):
+        assert AllenRelation.OVERLAPPED_BY.describe() == "overlapped-by"
+
+
+class TestComposition:
+    def test_equal_is_identity(self):
+        for rel in ALL_RELATIONS:
+            assert compose(AllenRelation.EQUAL, rel) == {rel}
+            assert compose(rel, AllenRelation.EQUAL) == {rel}
+
+    def test_before_before_is_before(self):
+        assert compose(AllenRelation.BEFORE, AllenRelation.BEFORE) == {
+            AllenRelation.BEFORE
+        }
+
+    def test_before_after_is_everything(self):
+        # Classic: no constraint survives b ; bi.
+        assert compose(AllenRelation.BEFORE, AllenRelation.AFTER) == set(
+            ALL_RELATIONS
+        )
+
+    def test_meets_meets_is_before(self):
+        assert compose(AllenRelation.MEETS, AllenRelation.MEETS) == {
+            AllenRelation.BEFORE
+        }
+
+    def test_during_during_is_during(self):
+        assert compose(AllenRelation.DURING, AllenRelation.DURING) == {
+            AllenRelation.DURING
+        }
+
+    def test_overlaps_overlaps(self):
+        assert compose(AllenRelation.OVERLAPS, AllenRelation.OVERLAPS) == {
+            AllenRelation.BEFORE,
+            AllenRelation.MEETS,
+            AllenRelation.OVERLAPS,
+        }
+
+    def test_inverse_composition_theorem(self):
+        """(R1 ; R2)^-1 == R2^-1 ; R1^-1 for the whole table."""
+        for r1, r2 in itertools.product(ALL_RELATIONS, repeat=2):
+            lhs = {rel.inverse for rel in compose(r1, r2)}
+            rhs = compose(r2.inverse, r1.inverse)
+            assert lhs == rhs, (r1, r2)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        a=st.tuples(st.integers(0, 12), st.integers(1, 6)),
+        b=st.tuples(st.integers(0, 12), st.integers(1, 6)),
+        c=st.tuples(st.integers(0, 12), st.integers(1, 6)),
+    )
+    def test_composition_soundness(self, a, b, c):
+        """For concrete intervals, rel(A,C) is in compose(rel(A,B), rel(B,C))."""
+        ia, ib, ic = (
+            iv(a[0], a[0] + a[1]),
+            iv(b[0], b[0] + b[1]),
+            iv(c[0], c[0] + c[1]),
+        )
+        assert relate(ia, ic) in compose(relate(ia, ib), relate(ib, ic))
+
+    def test_table_is_total(self):
+        for r1, r2 in itertools.product(ALL_RELATIONS, repeat=2):
+            result = compose(r1, r2)
+            assert result
+            assert result <= set(ALL_RELATIONS)

@@ -1,0 +1,145 @@
+"""Tests for the relation-matrix view and its equivalence to endpoint patterns."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.event import IntervalEvent
+from repro.model.pattern import TemporalPattern
+from repro.temporal.allen import AllenRelation
+from repro.temporal.relation_matrix import (
+    ArrangementPattern,
+    InconsistentArrangementError,
+)
+
+from tests.conftest import make_random_db
+
+
+def overlap_pattern() -> ArrangementPattern:
+    return ArrangementPattern(
+        ("A", "B"), ((0, 1, AllenRelation.OVERLAPS),)
+    )
+
+
+class TestConstruction:
+    def test_missing_pair_rejected(self):
+        with pytest.raises(ValueError, match="every pair"):
+            ArrangementPattern(("A", "B", "C"), ((0, 1, AllenRelation.BEFORE),))
+
+    def test_extra_pair_rejected(self):
+        with pytest.raises(ValueError, match="every pair"):
+            ArrangementPattern(
+                ("A",), ((0, 1, AllenRelation.BEFORE),)
+            )
+
+    def test_relation_lookup_and_inverse(self):
+        p = overlap_pattern()
+        assert p.relation(0, 1) is AllenRelation.OVERLAPS
+        assert p.relation(1, 0) is AllenRelation.OVERLAPPED_BY
+        assert p.relation(0, 0) is AllenRelation.EQUAL
+
+    def test_str(self):
+        assert "overlaps" in str(overlap_pattern())
+
+    def test_from_events_rejects_points(self):
+        with pytest.raises(ValueError, match="point"):
+            ArrangementPattern.from_events(
+                [IntervalEvent(0, 0, "A"), IntervalEvent(0, 2, "B")]
+            )
+
+
+class TestConversions:
+    def test_overlap_to_temporal(self):
+        tp = overlap_pattern().to_temporal_pattern()
+        assert str(tp) == "(A+) (B+) (A-) (B-)"
+
+    def test_temporal_to_matrix(self):
+        tp = TemporalPattern.parse("(A+) (B+) (A-) (B-)")
+        m = ArrangementPattern.from_temporal_pattern(tp)
+        assert m.relation(0, 1) is AllenRelation.OVERLAPS
+
+    def test_incomplete_pattern_rejected(self):
+        with pytest.raises(ValueError, match="complete"):
+            ArrangementPattern.from_temporal_pattern(
+                TemporalPattern.parse("(A+)")
+            )
+
+    def test_hybrid_pattern_rejected(self):
+        with pytest.raises(ValueError, match="point"):
+            ArrangementPattern.from_temporal_pattern(
+                TemporalPattern.parse("(A.)")
+            )
+
+    def test_inconsistent_cycle_detected(self):
+        # A before B, B before C, C before A: a cycle.
+        bad = ArrangementPattern(
+            ("A", "B", "C"),
+            (
+                (0, 1, AllenRelation.BEFORE),
+                (1, 2, AllenRelation.BEFORE),
+                (0, 2, AllenRelation.AFTER),
+            ),
+        )
+        assert not bad.is_consistent()
+        with pytest.raises(InconsistentArrangementError):
+            bad.to_temporal_pattern()
+
+    def test_inconsistent_equality_clash(self):
+        # A meets B (fa == sb) but also A overlaps B (sb < fa): clash.
+        # Encode via transitivity: A equal B and A before B is impossible
+        # pairwise, so use a 3-interval contradiction instead.
+        bad = ArrangementPattern(
+            ("A", "B", "C"),
+            (
+                (0, 1, AllenRelation.EQUAL),
+                (1, 2, AllenRelation.BEFORE),
+                (0, 2, AllenRelation.AFTER),
+            ),
+        )
+        assert not bad.is_consistent()
+
+    def test_consistent_triple(self):
+        good = ArrangementPattern(
+            ("A", "B", "C"),
+            (
+                (0, 1, AllenRelation.OVERLAPS),
+                (1, 2, AllenRelation.OVERLAPS),
+                (0, 2, AllenRelation.BEFORE),
+            ),
+        )
+        tp = good.to_temporal_pattern()
+        m = ArrangementPattern.from_temporal_pattern(tp)
+        assert m.relation(0, 1) is AllenRelation.OVERLAPS
+        assert m.relation(0, 2) is AllenRelation.BEFORE
+
+
+class TestLosslessnessEquivalence:
+    """Matrix -> endpoint -> matrix and endpoint -> matrix -> endpoint are
+    identities: the two representations carry the same information."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_round_trip_from_random_arrangements(self, seed):
+        db = make_random_db(seed, num_sequences=2, max_events=5)
+        for s in db:
+            if len(s) == 0:
+                continue
+            tp = TemporalPattern.from_arrangement(list(s.events))
+            matrix = ArrangementPattern.from_temporal_pattern(tp)
+            assert matrix.to_temporal_pattern() == tp
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_matrix_survives_endpoint_round_trip(self, seed):
+        db = make_random_db(seed, num_sequences=2, max_events=4)
+        for s in db:
+            if len(s) < 2:
+                continue
+            matrix = ArrangementPattern.from_events(list(s.events))
+            rebuilt = ArrangementPattern.from_temporal_pattern(
+                matrix.to_temporal_pattern()
+            )
+            assert rebuilt.labels == matrix.labels
+            for i in range(matrix.size):
+                for j in range(i + 1, matrix.size):
+                    assert rebuilt.relation(i, j) is matrix.relation(i, j)

@@ -1,0 +1,164 @@
+"""End-to-end tests of the ptpminer CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import read_database, read_patterns
+
+
+@pytest.fixture
+def tiny_file(tmp_path):
+    path = tmp_path / "tiny.txt"
+    code = main(
+        ["generate", "--dataset", "tiny", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_named_synthetic(self, tiny_file):
+        db = read_database(tiny_file)
+        assert len(db) == 60
+        assert db.name == "tiny"
+
+    def test_generates_real_simulator(self, tmp_path, capsys):
+        path = tmp_path / "lib.jsonl"
+        assert main(["generate", "--dataset", "library",
+                     "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "library-sim" in out
+
+    def test_num_sequences_override(self, tmp_path):
+        path = tmp_path / "small.txt"
+        main(["generate", "--dataset", "tiny", "--out", str(path),
+              "--num-sequences", "7"])
+        assert len(read_database(path)) == 7
+
+    def test_unknown_dataset_errors(self, tmp_path):
+        code = main(["generate", "--dataset", "nope",
+                     "--out", str(tmp_path / "x.txt")])
+        assert code == 2
+
+    def test_format_inferred_from_suffix(self, tmp_path):
+        path = tmp_path / "db.csv"
+        main(["generate", "--dataset", "tiny", "--out", str(path)])
+        from repro.io import read_csv
+
+        assert len(read_csv(path)) == 60
+
+
+class TestMine:
+    def test_mine_prints_patterns(self, tiny_file, capsys):
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "P-TPMiner" in out
+        assert "(e0+) (e0-)" in out
+
+    def test_mine_writes_pattern_file(self, tiny_file, tmp_path, capsys):
+        out_path = tmp_path / "patterns.txt"
+        main(["mine", str(tiny_file), "--min-sup", "0.3",
+              "--out", str(out_path)])
+        patterns = read_patterns(out_path)
+        assert patterns
+        assert all(item.support >= 18 for item in patterns)
+
+    @pytest.mark.parametrize(
+        "miner", ["tprefixspan", "hdfs", "ieminer", "bruteforce"]
+    )
+    def test_alternative_miners_agree(self, tiny_file, capsys, miner):
+        main(["mine", str(tiny_file), "--min-sup", "0.4"])
+        reference = capsys.readouterr().out.splitlines()[1:]
+        extra = ["--max-size", "3"] if miner == "bruteforce" else []
+        main(["mine", str(tiny_file), "--min-sup", "0.4",
+              "--miner", miner, *extra])
+        got = capsys.readouterr().out.splitlines()[1:]
+        assert got == reference
+
+    def test_closed_and_maximal_flags(self, tiny_file, capsys):
+        main(["mine", str(tiny_file), "--min-sup", "0.3", "--closed",
+              "--maximal"])
+        out = capsys.readouterr().out
+        assert "closed patterns:" in out
+        assert "maximal patterns:" in out
+
+    def test_pruning_flags_do_not_change_output(self, tiny_file, capsys):
+        main(["mine", str(tiny_file), "--min-sup", "0.3", "--top", "0"])
+        reference = capsys.readouterr().out.splitlines()[1:]
+        main(["mine", str(tiny_file), "--min-sup", "0.3", "--top", "0",
+              "--no-pair-prune", "--no-point-prune", "--no-postfix-prune"])
+        got = capsys.readouterr().out.splitlines()[1:]
+        assert got == reference
+
+    def test_htp_mode_on_hybrid_data(self, tmp_path, capsys):
+        path = tmp_path / "hybrid.txt"
+        main(["generate", "--dataset", "hybrid", "--out", str(path),
+              "--num-sequences", "80"])
+        assert main(["mine", str(path), "--min-sup", "0.2",
+                     "--mode", "htp"]) == 0
+
+    def test_tp_mode_strips_points_with_note(self, tmp_path, capsys):
+        path = tmp_path / "hybrid.txt"
+        main(["generate", "--dataset", "hybrid", "--out", str(path),
+              "--num-sequences", "80"])
+        capsys.readouterr()
+        assert main(["mine", str(path), "--min-sup", "0.2"]) == 0
+        err = capsys.readouterr().err
+        assert "stripped" in err
+
+
+class TestStats:
+    def test_stats_table(self, tiny_file, capsys):
+        assert main(["stats", str(tiny_file)]) == 0
+        out = capsys.readouterr().out
+        assert "sequences" in out
+        assert "60" in out
+
+
+class TestMineExtensions:
+    def test_top_k_flag(self, tiny_file, capsys):
+        assert main(["mine", str(tiny_file), "--top-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "P-TPMiner(top-k)" in out
+        assert out.count("(e") >= 3
+
+    def test_top_k_requires_ptpminer(self, tiny_file, capsys):
+        assert main(["mine", str(tiny_file), "--top-k", "3",
+                     "--miner", "hdfs"]) == 2
+
+    def test_max_span_flag_reduces_patterns(self, tiny_file, capsys):
+        main(["mine", str(tiny_file), "--min-sup", "0.3", "--top", "0"])
+        free = capsys.readouterr().out.count("\n")
+        main(["mine", str(tiny_file), "--min-sup", "0.3", "--top", "0",
+              "--max-span", "4"])
+        constrained = capsys.readouterr().out.count("\n")
+        assert constrained <= free
+
+    def test_rules_flag(self, tiny_file, capsys):
+        assert main(["mine", str(tiny_file), "--min-sup", "0.2",
+                     "--rules", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "temporal rules" in out
+        assert "=>" in out
+
+
+class TestParser:
+    def test_help_lists_subcommands(self, capsys):
+        import pytest as _pytest
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with _pytest.raises(SystemExit):
+            parser.parse_args(["--help"])
+        out = capsys.readouterr().out
+        for sub in ("generate", "mine", "stats"):
+            assert sub in out
+
+    def test_missing_subcommand_errors(self):
+        import pytest as _pytest
+
+        from repro.cli import build_parser
+
+        with _pytest.raises(SystemExit):
+            build_parser().parse_args([])

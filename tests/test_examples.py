@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example runs green end to end.
+
+The examples double as integration tests — each asserts its scenario's
+expected findings internally, so a zero exit code means the full
+pipeline (generation, mining, filtering, interpretation, I/O) worked.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 4  # quickstart + >=3 domain scenarios
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda path: path.stem
+)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate their findings"

@@ -1,0 +1,117 @@
+"""End-to-end integration tests across the whole library surface.
+
+Each test tells one realistic story — generate, mine, post-process,
+interpret, persist, reload — and checks cross-module invariants on the
+way. (CPU-light sizes; the heavy lifting lives in benchmarks/.)
+"""
+
+import repro
+from repro.baselines import TPrefixSpanMiner
+from repro.core.rules import generate_rules
+from repro.datagen import SyntheticConfig, SyntheticGenerator
+from repro.harness import render_pattern
+from repro.io import (
+    read_database,
+    read_patterns,
+    write_database,
+    write_patterns,
+)
+
+
+def small_workload():
+    config = SyntheticConfig(
+        num_sequences=120,
+        avg_events=6,
+        num_labels=15,
+        num_patterns=3,
+        pattern_probability=0.7,
+        time_horizon=40,
+        seed=101,
+        name="integration",
+    )
+    return SyntheticGenerator(config).generate()
+
+
+class TestMiningPipeline:
+    def test_full_pipeline(self, tmp_path):
+        db = small_workload()
+
+        # 1. Mine, and cross-check against an independent algorithm.
+        result = repro.PTPMiner(min_sup=0.15).mine(db)
+        assert result.patterns
+        baseline = TPrefixSpanMiner(min_sup=0.15).mine(db)
+        assert baseline.as_dict() == result.as_dict()
+
+        # 2. Every reported support is oracle-exact.
+        for item in result.top(10):
+            assert item.support == item.pattern.support_in(db)
+
+        # 3. Post-process: closed summary + rules.
+        closed = repro.filter_closed(result)
+        assert closed.pattern_set() <= result.pattern_set()
+        rules = generate_rules(result, min_confidence=0.3)
+        for rule in rules:
+            assert rule.antecedent in result.pattern_set()
+            assert rule.consequent in result.pattern_set()
+
+        # 4. Interpret: Allen descriptions and timelines render.
+        multi = next(
+            (p for p in closed.patterns if p.pattern.size >= 2), None
+        )
+        if multi is not None:
+            assert multi.pattern.allen_description()
+            assert "|" in render_pattern(multi.pattern)
+
+        # 5. Persist database and patterns; reload; re-mine equals.
+        db_path = tmp_path / "db.txt"
+        pat_path = tmp_path / "patterns.txt"
+        write_database(db, db_path)
+        write_patterns(result.patterns, pat_path)
+        reloaded_db = read_database(db_path)
+        assert reloaded_db == db
+        assert read_patterns(pat_path) == result.patterns
+        remined = repro.PTPMiner(min_sup=0.15).mine(reloaded_db)
+        assert remined.as_dict() == result.as_dict()
+
+    def test_threshold_lattice_consistency(self):
+        """Results across thresholds form a consistent lattice: each
+        result is the restriction of the finest one."""
+        db = small_workload()
+        fine = repro.PTPMiner(min_sup=0.1).mine(db).as_dict()
+        for min_sup in (0.15, 0.25, 0.4):
+            coarse = repro.PTPMiner(min_sup=min_sup).mine(db).as_dict()
+            threshold = db.absolute_support(min_sup)
+            expected = {
+                p: s for p, s in fine.items() if s >= threshold
+            }
+            assert coarse == expected
+
+    def test_topk_span_rules_compose(self):
+        """Extensions compose: top-k of the span-constrained mine equals
+        the head of the exhaustive span-constrained mine."""
+        db = small_workload()
+        constrained = repro.PTPMiner(
+            min_sup=2, max_span=20
+        ).mine(db)
+        top = repro.PTPMiner(max_span=20).mine_top_k(db, 5, min_sup=2)
+        assert top.patterns == constrained.patterns[:5]
+        rules = generate_rules(constrained, min_confidence=0.2)
+        for rule in rules:
+            assert rule.confidence <= 1.0
+
+    def test_hybrid_pipeline(self, tmp_path):
+        """HTP mode end to end: generate points, mine, persist, reload."""
+        config = SyntheticConfig(
+            num_sequences=80, avg_events=5, num_labels=10,
+            point_fraction=0.4, time_horizon=30, seed=7, name="hybrid-int",
+        )
+        db = SyntheticGenerator(config).generate()
+        result = repro.PTPMiner(min_sup=0.15, mode="htp").mine(db)
+        assert any(item.pattern.is_hybrid for item in result.patterns)
+        path = tmp_path / "hybrid.jsonl"
+        from repro.io import read_jsonl, write_jsonl
+
+        write_jsonl(db, path)
+        assert repro.PTPMiner(min_sup=0.15, mode="htp").mine(
+            read_jsonl(path)
+        ).as_dict() == result.as_dict()

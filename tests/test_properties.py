@@ -1,0 +1,131 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These tie the whole stack together: databases are generated from raw
+hypothesis strategies (not the library's own generators), and the
+invariants span representation, mining, and interpretation layers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.tprefixspan import TPrefixSpanMiner
+from repro.core.ptpminer import PTPMiner
+from repro.core.rules import generate_rules
+from repro.model.database import ESequenceDatabase
+from repro.model.event import IntervalEvent
+from repro.model.pattern import TemporalPattern
+from repro.model.sequence import ESequence
+
+event_st = st.builds(
+    lambda s, d, label: IntervalEvent(s, s + d, label),
+    st.integers(0, 8),
+    st.integers(0, 4),
+    st.sampled_from("AB"),
+)
+sequence_st = st.lists(event_st, min_size=1, max_size=4).map(ESequence)
+db_st = st.lists(sequence_st, min_size=2, max_size=8).map(
+    ESequenceDatabase
+)
+interval_db_st = st.lists(
+    st.lists(
+        st.builds(
+            lambda s, d, label: IntervalEvent(s, s + d, label),
+            st.integers(0, 8),
+            st.integers(1, 4),
+            st.sampled_from("AB"),
+        ),
+        min_size=1,
+        max_size=4,
+    ).map(ESequence),
+    min_size=2,
+    max_size=8,
+).map(ESequenceDatabase)
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=interval_db_st, min_sup=st.sampled_from([0.25, 0.5]))
+def test_miner_agreement_on_raw_databases(db, min_sup):
+    """P-TPMiner equals the validation baseline on arbitrary input."""
+    reference = PTPMiner(min_sup).mine(db).as_dict()
+    assert TPrefixSpanMiner(min_sup).mine(db).as_dict() == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=db_st)
+def test_support_is_anti_monotone_over_containment(db):
+    """If P is contained in Q then sup(P) >= sup(Q), across the whole
+    mined set."""
+    result = PTPMiner(min_sup=0.25, mode="htp").mine(db)
+    items = result.patterns
+    for i, small in enumerate(items):
+        for big in items[i:]:
+            if small.pattern.num_tokens >= big.pattern.num_tokens:
+                continue
+            if small.pattern.contained_in(big.pattern):
+                assert small.support >= big.support
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=db_st)
+def test_mined_patterns_round_trip_through_text(db):
+    result = PTPMiner(min_sup=0.25, mode="htp").mine(db)
+    for item in result.patterns:
+        assert TemporalPattern.parse(str(item.pattern)) == item.pattern
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=interval_db_st)
+def test_mined_supports_match_oracle_counts(db):
+    result = PTPMiner(min_sup=0.25).mine(db)
+    for item in result.patterns:
+        assert item.support == item.pattern.support_in(db)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=interval_db_st)
+def test_allen_description_is_complete(db):
+    """Every mined pattern describes all C(size, 2) event pairs."""
+    result = PTPMiner(min_sup=0.25).mine(db)
+    for item in result.patterns:
+        size = item.pattern.size
+        assert len(item.pattern.allen_description()) == (
+            size * (size - 1) // 2
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=interval_db_st)
+def test_rules_confidence_bounds(db):
+    result = PTPMiner(min_sup=0.25).mine(db)
+    for rule in generate_rules(result, min_confidence=0.01):
+        assert 0 < rule.confidence <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=interval_db_st, delta=st.integers(1, 50))
+def test_mining_invariant_under_time_shift(db, delta):
+    """Patterns are arrangements: shifting all sequences in time changes
+    nothing."""
+    shifted = ESequenceDatabase([seq.shifted(delta) for seq in db])
+    assert PTPMiner(0.25).mine(db).as_dict() == PTPMiner(0.25).mine(
+        shifted
+    ).as_dict()
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=interval_db_st, factor=st.integers(2, 5))
+def test_mining_invariant_under_time_scaling(db, factor):
+    scaled = ESequenceDatabase([seq.scaled(factor) for seq in db])
+    assert PTPMiner(0.25).mine(db).as_dict() == PTPMiner(0.25).mine(
+        scaled
+    ).as_dict()
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=interval_db_st)
+def test_sequence_order_does_not_matter(db):
+    """Mining is a function of the multiset of sequences."""
+    reversed_db = ESequenceDatabase(list(reversed(db.sequences)))
+    assert PTPMiner(0.25).mine(db).as_dict() == PTPMiner(0.25).mine(
+        reversed_db
+    ).as_dict()
