@@ -1,0 +1,42 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: help lint typecheck repro-lint test test-contracts check bench
+
+help:
+	@echo "Targets:"
+	@echo "  lint           ruff check (skipped with a notice if ruff is absent)"
+	@echo "  typecheck      mypy --strict over src/repro (skipped if mypy is absent)"
+	@echo "  repro-lint     project-specific AST lint (always available)"
+	@echo "  test           tier-1 pytest suite"
+	@echo "  test-contracts tier-1 suite with runtime contracts forced on"
+	@echo "  check          repro-lint + lint + typecheck + test-contracts"
+	@echo "  bench          benchmark suite (pytest-benchmark)"
+
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests tools; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[dev])"; \
+	fi
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --strict src/repro; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[dev])"; \
+	fi
+
+repro-lint:
+	$(PYTHON) -m tools.repro_lint src tests
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-contracts:
+	REPRO_CONTRACTS=1 $(PYTHON) -m pytest -x -q
+
+check: repro-lint lint typecheck test-contracts
+
+bench:
+	$(PYTHON) -m pytest benches -q

@@ -28,11 +28,14 @@ See ``examples/`` for realistic scenarios and ``DESIGN.md`` for the
 architecture and experiment map.
 """
 
+from __future__ import annotations
+
+from repro import contracts
 from repro.core.closed import filter_closed, filter_maximal
 from repro.core.probabilistic import ProbabilisticTPMiner
 from repro.core.pruning import PruningConfig
-from repro.core.rules import TemporalRule, generate_rules
 from repro.core.ptpminer import MiningResult, PTPMiner, mine
+from repro.core.rules import TemporalRule, generate_rules
 from repro.model.database import DatabaseStats, ESequenceDatabase
 from repro.model.event import IntervalEvent, point_event
 from repro.model.pattern import PatternWithSupport, TemporalPattern
@@ -46,6 +49,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # runtime contracts
+    "contracts",
     # data model
     "IntervalEvent",
     "point_event",

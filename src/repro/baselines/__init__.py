@@ -1,5 +1,7 @@
 """Baseline miners the paper compares against, plus the brute-force oracle."""
 
+from __future__ import annotations
+
 from repro.baselines.bruteforce import BruteForceMiner
 from repro.baselines.hdfs import HDFSMiner
 from repro.baselines.ieminer import IEMiner

@@ -89,14 +89,17 @@ class PatternBuilder:
         """
         if ext == I_EXT and self.is_empty:
             return []
+        # PatternBuilder is itself a canonical generator: occurrence
+        # numbers come from the builder's own bookkeeping, so raw token
+        # construction is sound here.  # repro-lint: ignore[R001]
         out: list[Endpoint] = []
         for label in labels_start:
-            out.append(Endpoint(label, self.next_occ(label), START))
+            out.append(Endpoint(label, self.next_occ(label), START))  # repro-lint: ignore[R001]
         for label in labels_point:
-            out.append(Endpoint(label, self.next_occ(label), POINT))
+            out.append(Endpoint(label, self.next_occ(label), POINT))  # repro-lint: ignore[R001]
         for label, occ in self._open_start_ps:
             if self.allowed_finish(label, occ):
-                out.append(Endpoint(label, occ, FINISH))
+                out.append(Endpoint(label, occ, FINISH))  # repro-lint: ignore[R001]
         if ext == I_EXT:
             last = self.last_token
             assert last is not None
@@ -132,7 +135,7 @@ class PatternBuilder:
         elif token.kind == POINT:
             self._restore_next_occ(token)
         else:
-            start = Endpoint(token.label, token.occ, START)
+            start = token._replace(kind=START)
             for idx, ps in enumerate(self.pointsets):
                 if start in ps:
                     self._open_start_ps[key] = idx

@@ -29,6 +29,7 @@ candidate explosion is what benches F1/F2 measure.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterable, Iterator, Sequence
 from typing import Optional
 
 from repro.core.pruning import PruneCounters
@@ -148,7 +149,9 @@ class IEMiner:
     # candidate generation
     # ------------------------------------------------------------------
     @staticmethod
-    def _placements(parent_events, labels):
+    def _placements(
+        parent_events: Sequence[IntervalEvent], labels: Iterable[str]
+    ) -> Iterator[TemporalPattern]:
         """Yield every arrangement extending the parent by one interval.
 
         The parent is realized at times ``0..m-1`` stretched by 3 so each

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 from collections import Counter
+from collections.abc import Iterable
 from typing import Optional
 
 from repro.baselines._shared import I_EXT, S_EXT, PatternBuilder
@@ -33,12 +34,14 @@ from repro.core.pruning import PruneCounters
 from repro.core.ptpminer import MiningResult
 from repro.model.database import ESequenceDatabase
 from repro.model.pattern import PatternWithSupport
-from repro.temporal.endpoint import POINT, START, EndpointSequence
+from repro.temporal.endpoint import POINT, START, Endpoint, EndpointSequence
 
 __all__ = ["TPrefixSpanMiner"]
 
 
-def _pointset_profile(pointset) -> Counter:
+def _pointset_profile(
+    pointset: Iterable[Endpoint],
+) -> Counter[tuple[str, int]]:
     """Multiset of (label, kind) per pointset, for relaxed matching."""
     return Counter((ep.label, ep.kind) for ep in pointset)
 

@@ -56,6 +56,8 @@ from repro.io import (
     write_spmf,
 )
 
+__all__ = ["build_parser", "main"]
+
 _GENERATORS = {
     "asl": generate_asl,
     "clinical": generate_clinical,
@@ -87,7 +89,9 @@ def _infer_format(path: str, explicit: str | None) -> str:
     return "text"
 
 
-def _build_miner(args: argparse.Namespace):
+def _build_miner(
+    args: argparse.Namespace,
+) -> "PTPMiner | TPrefixSpanMiner | HDFSMiner | IEMiner | BruteForceMiner":
     pruning = PruningConfig(
         point=not args.no_point_prune,
         pair=not args.no_pair_prune,

@@ -1,0 +1,161 @@
+"""Runtime contracts: machine-checked invariants for the mining core.
+
+The paper's correctness argument rests on invariants the code enforces
+only implicitly — canonical endpoint ordering, validity-during-
+generation, projection-state consistency, and pruning soundness. A
+silent violation corrupts mined results without crashing, which is the
+worst failure mode for a reproduction. This module provides a
+contract layer that is **off by default and free in production**, and
+turns those invariants into hard ``ContractViolation`` errors when
+enabled (the whole test suite runs with it on; see
+``tests/conftest.py``).
+
+Enabling
+--------
+* environment: ``REPRO_CONTRACTS=1`` (read at import time), or
+* runtime: :func:`enable` / :func:`disable` / :func:`enabled_scope`.
+
+API
+---
+:func:`check`
+    Inline assertion: ``check(cond, "message")`` raises
+    :class:`ContractViolation` when contracts are enabled and ``cond``
+    is false; a no-op otherwise. Hot loops hoist the flag once per call
+    (``if contracts.checking: contracts.check(...)``) so the disabled
+    cost is a single local branch — measured within benchmark noise.
+:func:`contract`
+    Decorator attaching ``pre``/``post`` predicates to a function. When
+    disabled the wrapper falls through to the function immediately.
+:func:`is_enabled` / ``contracts.checking``
+    The live flag. Read it as an attribute (``contracts.checking``) —
+    importing the name snapshots a stale boolean.
+
+What is wired where
+-------------------
+* ``repro.core.ptpminer`` — canonical token order at every emit, open-
+  interval bookkeeping across backtracking, and (for small inputs) the
+  pruning-soundness oracle: the pruned search must return exactly the
+  pattern set the brute-force miner finds.
+* ``repro.core.projection`` — :func:`repro.core.projection.check_state`
+  validates each projection state (pending bound within ``used``,
+  frontier consistency).
+* ``repro.core.counting`` — pair tables are well-formed upper-bound
+  tables (normalized keys, positive weights).
+* ``repro.core.pruning`` — counter consistency at the end of a run.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from functools import wraps
+from typing import Any, TypeVar
+
+__all__ = [
+    "ContractViolation",
+    "check",
+    "checking",
+    "contract",
+    "disable",
+    "enable",
+    "enabled_scope",
+    "is_enabled",
+]
+
+
+class ContractViolation(AssertionError):
+    """A runtime contract failed: an internal invariant was violated.
+
+    Subclasses :class:`AssertionError` so test frameworks and callers
+    that treat assertion failures specially keep working.
+    """
+
+
+#: The live on/off flag. Always read as ``contracts.checking`` (module
+#: attribute); ``from repro.contracts import checking`` would freeze it.
+checking: bool = os.environ.get("REPRO_CONTRACTS", "") not in ("", "0")
+
+
+def is_enabled() -> bool:
+    """``True`` when contract checking is currently active."""
+    return checking
+
+
+def enable() -> None:
+    """Turn contract checking on for the whole process."""
+    global checking
+    checking = True
+
+
+def disable() -> None:
+    """Turn contract checking off."""
+    global checking
+    checking = False
+
+
+@contextmanager
+def enabled_scope(value: bool = True) -> Iterator[None]:
+    """Temporarily set the contract flag (restores the prior value)."""
+    global checking
+    previous = checking
+    checking = value
+    try:
+        yield
+    finally:
+        checking = previous
+
+
+def check(
+    condition: bool,
+    message: str,
+    *,
+    details: Callable[[], str] | None = None,
+) -> None:
+    """Raise :class:`ContractViolation` if enabled and ``condition`` false.
+
+    ``details`` is a lazy supplier of expensive diagnostic context; it is
+    only invoked on failure.
+    """
+    if checking and not condition:
+        if details is not None:
+            message = f"{message} [{details()}]"
+        raise ContractViolation(message)
+
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def contract(
+    *,
+    pre: Callable[..., bool] | None = None,
+    post: Callable[..., bool] | None = None,
+) -> Callable[[_F], _F]:
+    """Attach pre/post-condition predicates to a function.
+
+    ``pre`` receives the call's ``(*args, **kwargs)``; ``post`` receives
+    ``(result, *args, **kwargs)``. Each returns ``True`` when the
+    contract holds (raising :class:`ContractViolation` directly from the
+    predicate is also allowed, for richer messages). When contracts are
+    disabled the wrapper forwards the call with no checking.
+    """
+
+    def decorate(func: _F) -> _F:
+        @wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not checking:
+                return func(*args, **kwargs)
+            if pre is not None and not pre(*args, **kwargs):
+                raise ContractViolation(
+                    f"precondition of {func.__qualname__} violated"
+                )
+            result = func(*args, **kwargs)
+            if post is not None and not post(result, *args, **kwargs):
+                raise ContractViolation(
+                    f"postcondition of {func.__qualname__} violated"
+                )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

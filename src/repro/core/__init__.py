@@ -1,5 +1,7 @@
 """The paper's contribution: P-TPMiner and its companions."""
 
+from __future__ import annotations
+
 from repro.core.closed import filter_closed, filter_maximal
 from repro.core.counting import PairTables, symbol_document_frequency
 from repro.core.probabilistic import ProbabilisticTPMiner

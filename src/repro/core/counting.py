@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro import contracts
 from repro.temporal.endpoint import EncodedDatabase
 
 __all__ = ["symbol_document_frequency", "PairTables"]
@@ -50,7 +51,9 @@ class PairTables:
 
     __slots__ = ("_s_pair", "_i_pair")
 
-    def __init__(self, encoded: EncodedDatabase, weights: Sequence[float]):
+    def __init__(
+        self, encoded: EncodedDatabase, weights: Sequence[float]
+    ) -> None:
         s_pair: dict[tuple[int, int], float] = {}
         i_pair: dict[tuple[int, int], float] = {}
         for seq in encoded.sequences:
@@ -81,6 +84,16 @@ class PairTables:
                 i_pair[key] = i_pair.get(key, 0.0) + weight
         self._s_pair = s_pair
         self._i_pair = i_pair
+        if contracts.checking:
+            contracts.check(
+                all(a <= b for a, b in i_pair),
+                "i_pair keys must be normalized (a <= b)",
+            )
+            contracts.check(
+                all(w >= 0 for w in s_pair.values())
+                and all(w >= 0 for w in i_pair.values()),
+                "pair-table weights must be non-negative",
+            )
 
     def s_pair(self, a: int, b: int) -> float:
         """Upper bound on the support of any pattern placing ``b`` in a

@@ -46,7 +46,10 @@ from __future__ import annotations
 
 from typing import NamedTuple, Optional
 
-__all__ = ["State", "EMPTY_STATE", "dedupe_states"]
+from repro import contracts
+from repro.temporal.endpoint import EncodedSequence
+
+__all__ = ["State", "EMPTY_STATE", "check_state", "dedupe_states"]
 
 PendingEntry = tuple[int, int, int]  # (label_id, pocc, socc)
 OccKey = tuple[int, int]  # (label_id, socc)
@@ -56,8 +59,8 @@ class State(NamedTuple):
     """One embedding frontier of the current prefix in one sequence."""
 
     pos: int
-    pending: frozenset  # frozenset[PendingEntry]
-    used: frozenset  # frozenset[OccKey]
+    pending: frozenset[PendingEntry]
+    used: frozenset[OccKey]
     window_start: Optional[float] = None
 
     def pending_socc(self, label_id: int, pocc: int) -> int | None:
@@ -70,6 +73,54 @@ class State(NamedTuple):
 
 #: The root state: nothing matched yet.
 EMPTY_STATE = State(-1, frozenset(), frozenset())
+
+
+def check_state(state: State, seq: EncodedSequence) -> None:
+    """Contract: one projection state is internally consistent.
+
+    Called from the miner's projection step when runtime contracts are
+    enabled (:mod:`repro.contracts`); raises
+    :class:`~repro.contracts.ContractViolation` on the first violated
+    invariant. Checks:
+
+    * the frontier ``pos`` indexes a real pointset (or is ``-1``);
+    * every pending (open) occurrence is recorded in ``used`` — an open
+      interval was necessarily introduced by a consumed start;
+    * pending bindings are injective both ways: one sequence occurrence
+      cannot serve two pattern occurrences and vice versa;
+    * every pending/used occurrence actually exists in the sequence.
+    """
+    contracts.check(
+        -1 <= state.pos < len(seq.pointsets),
+        "projection frontier out of range",
+        details=lambda: f"pos={state.pos}, len={len(seq.pointsets)}",
+    )
+    pattern_side: set[OccKey] = set()
+    sequence_side: set[OccKey] = set()
+    for lab, pocc, socc in state.pending:
+        contracts.check(
+            (lab, socc) in state.used,
+            "pending occurrence not marked used",
+            details=lambda: f"pending=({lab}, {pocc}, {socc})",
+        )
+        contracts.check(
+            (lab, pocc) not in pattern_side,
+            "pattern occurrence bound twice in pending set",
+            details=lambda: f"({lab}, {pocc})",
+        )
+        contracts.check(
+            (lab, socc) not in sequence_side,
+            "sequence occurrence bound twice in pending set",
+            details=lambda: f"({lab}, {socc})",
+        )
+        pattern_side.add((lab, pocc))
+        sequence_side.add((lab, socc))
+    for lab, socc in state.used:
+        contracts.check(
+            (lab, socc) in seq.start_pos,
+            "used occurrence missing from the sequence",
+            details=lambda: f"({lab}, {socc})",
+        )
 
 
 def dedupe_states(states: list[State]) -> tuple[State, ...]:

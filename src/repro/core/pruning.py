@@ -37,6 +37,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import contracts
+
 __all__ = ["PruningConfig", "PruneCounters"]
 
 
@@ -85,7 +87,7 @@ class PruneCounters:
     pruned_dead_states: int = 0
     states_created: int = 0
     patterns_emitted: int = 0
-    extras: dict = field(default_factory=dict)
+    extras: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
         """Flatten to a plain dict for harness tables."""
@@ -102,3 +104,34 @@ class PruneCounters:
         }
         out.update(self.extras)
         return out
+
+    def check_consistency(self) -> None:
+        """Contract: the counters form a coherent account of one search.
+
+        Intended for the end of a P-TPMiner run (the baselines populate
+        only a subset of the counters). No-op unless runtime contracts
+        are enabled.
+        """
+        if not contracts.checking:
+            return
+        contracts.check(
+            all(value >= 0 for value in self.as_dict().values()),
+            "search counters must be non-negative",
+            details=self.as_dict().__repr__,
+        )
+        contracts.check(
+            self.patterns_emitted <= self.candidates_frequent,
+            "every emitted pattern stems from a frequent candidate",
+            details=lambda: (
+                f"emitted={self.patterns_emitted}, "
+                f"frequent={self.candidates_frequent}"
+            ),
+        )
+        contracts.check(
+            self.pruned_pair <= self.candidates_considered,
+            "pair pruning cannot fire more often than candidates were seen",
+            details=lambda: (
+                f"pruned_pair={self.pruned_pair}, "
+                f"considered={self.candidates_considered}"
+            ),
+        )

@@ -33,10 +33,11 @@ from __future__ import annotations
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Callable, Optional
 
+from repro import contracts
 from repro.core.counting import PairTables
-from repro.core.projection import EMPTY_STATE, State, dedupe_states
+from repro.core.projection import EMPTY_STATE, State, check_state, dedupe_states
 from repro.core.pruning import PruneCounters, PruningConfig
 from repro.model.database import ESequenceDatabase
 from repro.model.pattern import PatternWithSupport, TemporalPattern
@@ -46,7 +47,6 @@ from repro.temporal.endpoint import (
     POINT,
     START,
     EncodedDatabase,
-    Endpoint,
 )
 
 __all__ = ["PTPMiner", "MiningResult", "mine"]
@@ -87,7 +87,7 @@ class MiningResult:
     elapsed: float
     counters: PruneCounters
     miner: str = "P-TPMiner"
-    params: dict = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.patterns)
@@ -215,6 +215,9 @@ class PTPMiner:
             encoded, weights, [float(threshold)], pairs, counters
         )
         patterns.sort(key=PatternWithSupport.sort_key)
+        if contracts.checking:
+            counters.check_consistency()
+            self._oracle_check(db, weights, float(threshold), patterns)
         elapsed = time.perf_counter() - started
         return MiningResult(
             patterns=patterns,
@@ -316,6 +319,69 @@ class PTPMiner:
         )
 
     # ------------------------------------------------------------------
+    # runtime contracts
+    # ------------------------------------------------------------------
+    #: Oracle cross-check size caps: the brute-force miner is exponential
+    #: in sequence length, so the pruning-soundness contract only fires on
+    #: inputs it can enumerate quickly.
+    _ORACLE_MAX_SEQUENCES = 16
+    _ORACLE_MAX_SEQ_EVENTS = 7
+    _ORACLE_MAX_TOTAL_EVENTS = 48
+
+    def _oracle_check(
+        self,
+        db: ESequenceDatabase,
+        weights: Sequence[float],
+        threshold: float,
+        patterns: list[PatternWithSupport],
+    ) -> None:
+        """Contract: pruning soundness against the brute-force oracle.
+
+        On small unit-weight inputs, the pruned search must return
+        exactly the pattern set (and supports) that exhaustive
+        enumeration finds — i.e. no pruning path ever dropped a valid
+        frequent pattern, and nothing spurious was emitted. Skipped when
+        the input is too large to enumerate or uses features the oracle
+        does not model (non-unit weights, ``max_tokens``, ``max_span``).
+        """
+        if self.max_tokens is not None or self.max_span is not None:
+            return
+        if threshold != int(threshold):
+            return
+        if any(weight != 1.0 for weight in weights):
+            return
+        num_sequences = len(db)
+        if not 0 < num_sequences <= self._ORACLE_MAX_SEQUENCES:
+            return
+        sizes = [len(seq.events) for seq in db]
+        if (
+            max(sizes, default=0) > self._ORACLE_MAX_SEQ_EVENTS
+            or sum(sizes) > self._ORACLE_MAX_TOTAL_EVENTS
+        ):
+            return
+        from repro.baselines.bruteforce import BruteForceMiner
+
+        absolute = int(threshold)
+        # BruteForceMiner reads min_sup <= 1 as a relative frequency, so
+        # express "absolute 1" as a fraction that ceils back to 1.
+        min_sup = float(absolute) if absolute > 1 else 0.5 / num_sequences
+        oracle = BruteForceMiner(
+            min_sup, mode=self.mode, max_size=self.max_size
+        ).mine(db)
+        expected = {item.pattern: float(item.support) for item in oracle.patterns}
+        actual = {item.pattern: float(item.support) for item in patterns}
+        contracts.check(
+            actual == expected,
+            "pruned search disagrees with the brute-force oracle",
+            details=lambda: (
+                f"missing={sorted(str(p) for p in set(expected) - set(actual))[:5]}, "
+                f"spurious={sorted(str(p) for p in set(actual) - set(expected))[:5]}, "
+                "support_mismatches="
+                f"{[(str(p), actual[p], expected[p]) for p in sorted(set(actual) & set(expected), key=str) if actual[p] != expected[p]][:5]}"
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # pruning 1: global point pruning
     # ------------------------------------------------------------------
     @staticmethod
@@ -383,7 +449,7 @@ class PTPMiner:
         threshold_box: list[float],
         pairs: Optional[PairTables],
         counters: PruneCounters,
-        on_emit=None,
+        on_emit: Optional[Callable[[TemporalPattern, float], None]] = None,
     ) -> list[PatternWithSupport]:
         sequences = encoded.sequences
         htp = self.mode == "htp"
@@ -407,7 +473,7 @@ class PTPMiner:
                     return False
             return True
 
-        def make_pair_ok():
+        def make_pair_ok() -> Optional[Callable[[_Candidate], bool]]:
             """Pair pruning: sym-level upper bounds vs pattern symbols.
 
             The pattern's symbol sets are hoisted out here (once per
@@ -444,10 +510,7 @@ class PTPMiner:
         def decode_pattern() -> TemporalPattern:
             return TemporalPattern(
                 (
-                    (
-                        Endpoint(encoded.labels[sym // 3], pocc, sym % 3)
-                        for sym, pocc in ps
-                    )
+                    (encoded.decode_token((sym, pocc)) for sym, pocc in ps)
                     for ps in pointsets
                 ),
                 validate=False,
@@ -650,6 +713,9 @@ class PTPMiner:
                                 State(pos2, pending, used, wstart)
                             )
                 deduped = dedupe_states(new_states)
+                if contracts.checking:
+                    for checked in deduped:
+                        check_state(checked, seq)
                 counters.states_created += len(deduped)
                 if deduped:
                     new_proj.append((sid, deduped))
@@ -704,6 +770,8 @@ class PTPMiner:
                 if not open_start_ps:
                     counters.patterns_emitted += 1
                     pattern = decode_pattern()
+                    if contracts.checking:
+                        _check_emitted_pattern(pattern, num_tokens)
                     results.append(
                         PatternWithSupport(pattern, _tidy(weight))
                     )
@@ -745,6 +813,36 @@ class PTPMiner:
         return results
 
 
+def _check_emitted_pattern(pattern: TemporalPattern, num_tokens: int) -> None:
+    """Contract: an emitted pattern is well-formed, complete, canonical.
+
+    Validity-during-generation means the search should never need a
+    post-hoc validation scan — this check proves it keeps that promise
+    whenever runtime contracts are enabled.
+    """
+    try:
+        TemporalPattern(pattern.pointsets, validate=True)
+    except ValueError as exc:
+        raise contracts.ContractViolation(
+            f"emitted malformed pattern {pattern}: {exc}"
+        ) from exc
+    contracts.check(
+        pattern.is_complete,
+        "emitted pattern has unfinished intervals",
+        details=lambda: str(pattern),
+    )
+    contracts.check(
+        pattern.num_tokens == num_tokens,
+        "pattern token bookkeeping out of sync with the search",
+        details=lambda: f"{pattern} vs num_tokens={num_tokens}",
+    )
+    contracts.check(
+        pattern.is_canonical,
+        "emitted pattern is not in canonical form",
+        details=lambda: str(pattern),
+    )
+
+
 def _find_start_ps(
     pointsets: list[list[tuple[int, int]]], start_sym: int, pocc: int
 ) -> int:
@@ -766,7 +864,7 @@ def mine(
     min_sup: float = 0.1,
     *,
     mode: str = "tp",
-    **kwargs,
+    **kwargs: Any,
 ) -> MiningResult:
     """Convenience one-call API: ``mine(db, 0.05)``."""
     return PTPMiner(min_sup, mode=mode, **kwargs).mine(db)

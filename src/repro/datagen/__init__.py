@@ -1,5 +1,7 @@
 """Workload generators: synthetic (QUEST-style) and real-data simulators."""
 
+from __future__ import annotations
+
 from repro.datagen.asl import generate_asl
 from repro.datagen.clinical import generate_clinical
 from repro.datagen.library import generate_library

@@ -99,8 +99,14 @@ class SyntheticGenerator:
         return ESequenceDatabase(sequences, name=cfg.dataset_name())
 
     # ------------------------------------------------------------------
-    def _random_event(self, rng: random.Random, labels, weights,
-                      lo: int, hi: int) -> IntervalEvent:
+    def _random_event(
+        self,
+        rng: random.Random,
+        labels: list[str],
+        weights: list[float],
+        lo: int,
+        hi: int,
+    ) -> IntervalEvent:
         cfg = self.config
         label = rng.choices(labels, weights)[0]
         start = rng.randint(lo, max(lo, hi - 1))
@@ -109,7 +115,9 @@ class SyntheticGenerator:
         duration = max(1, round(rng.expovariate(1.0 / cfg.avg_duration)))
         return IntervalEvent(start, start + duration, label)
 
-    def _make_template(self, rng, labels, weights) -> list[IntervalEvent]:
+    def _make_template(
+        self, rng: random.Random, labels: list[str], weights: list[float]
+    ) -> list[IntervalEvent]:
         """A seed pattern: a small cluster of overlapping events."""
         cfg = self.config
         count = max(2, round(rng.gauss(cfg.avg_pattern_events, 1.0)))
@@ -119,8 +127,14 @@ class SyntheticGenerator:
             for _ in range(count)
         ]
 
-    def _make_sequence(self, rng, labels, weights, templates,
-                       template_weights) -> ESequence:
+    def _make_sequence(
+        self,
+        rng: random.Random,
+        labels: list[str],
+        weights: list[float],
+        templates: list[list[IntervalEvent]],
+        template_weights: list[float],
+    ) -> ESequence:
         cfg = self.config
         events: list[IntervalEvent] = []
         if templates and rng.random() < cfg.pattern_probability:
@@ -175,7 +189,9 @@ STANDARD_DATASETS: dict[str, SyntheticConfig] = {
 }
 
 
-def standard_dataset(name: str, **overrides) -> ESequenceDatabase:
+def standard_dataset(
+    name: str, **overrides: float | int | str
+) -> ESequenceDatabase:
     """Generate one of the registered benchmark datasets by name.
 
     ``overrides`` replace configuration fields (e.g.

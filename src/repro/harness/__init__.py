@@ -1,5 +1,7 @@
 """Experiment harness: measurement, sweeps, table and figure rendering."""
 
+from __future__ import annotations
+
 from repro.harness.figures import ascii_chart
 from repro.harness.metrics import RunMetrics, measure
 from repro.harness.runner import (

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
 
 from repro.harness.figures import ascii_chart
 from repro.harness.metrics import measure
@@ -50,7 +52,7 @@ class SweepResult:
         """Render the rows as an ASCII table."""
         return render_table(self.rows, columns, title=self.experiment)
 
-    def chart(self, y_name: str, *, log_y: bool = True, **kwargs) -> str:
+    def chart(self, y_name: str, *, log_y: bool = True, **kwargs: Any) -> str:
         """Render one metric as an ASCII figure."""
         return ascii_chart(
             self.series(y_name),
@@ -108,7 +110,7 @@ class ExperimentRunner:
         db: ESequenceDatabase,
         x_values: Sequence[float],
         miners: Sequence[MinerSpec],
-        **kwargs,
+        **kwargs: Any,
     ) -> SweepResult:
         """Run the full grid ``x_values x miners`` on one database."""
         for x_value in x_values:
@@ -116,7 +118,7 @@ class ExperimentRunner:
         return self.result
 
 
-def write_rows_csv(result: SweepResult, path) -> None:
+def write_rows_csv(result: SweepResult, path: str | Path) -> None:
     """Export a sweep's rows as CSV (for external plotting tools).
 
     Columns are the union of all row keys in first-seen order; missing

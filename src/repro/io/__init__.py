@@ -1,5 +1,7 @@
 """Serialization: native text, SPMF, JSON-lines and CSV formats."""
 
+from __future__ import annotations
+
 from repro.io.csv_format import read_csv, write_csv
 from repro.io.jsonl import read_jsonl, write_jsonl
 from repro.io.spmf import read_spmf, write_spmf

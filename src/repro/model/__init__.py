@@ -1,5 +1,7 @@
 """Data model: events, e-sequences, databases, patterns, uncertainty."""
 
+from __future__ import annotations
+
 from repro.model.database import DatabaseStats, ESequenceDatabase
 from repro.model.event import IntervalEvent, point_event
 from repro.model.pattern import PatternWithSupport, TemporalPattern

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
 
 from repro.model.event import IntervalEvent
@@ -173,7 +173,9 @@ class ESequenceDatabase:
     # ------------------------------------------------------------------
     # transforms
     # ------------------------------------------------------------------
-    def filter_sequences(self, predicate) -> "ESequenceDatabase":
+    def filter_sequences(
+        self, predicate: Callable[[ESequence], bool]
+    ) -> "ESequenceDatabase":
         """Keep sequences satisfying ``predicate`` (sids are re-densified)."""
         return ESequenceDatabase(
             (seq for seq in self._sequences if predicate(seq)), name=self.name

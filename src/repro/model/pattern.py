@@ -35,7 +35,7 @@ which all miners are tested.
 from __future__ import annotations
 
 import itertools
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from typing import Optional, Union
 
 from repro.model.database import ESequenceDatabase
@@ -138,7 +138,7 @@ class TemporalPattern:
     def __len__(self) -> int:
         return len(self._pointsets)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[Endpoint, ...]]:
         return iter(self._pointsets)
 
     def __eq__(self, other: object) -> bool:
@@ -266,7 +266,7 @@ class TemporalPattern:
         return TemporalPattern(
             (
                 (
-                    Endpoint(e.label, renumber[(e.label, e.occ)], e.kind)
+                    e._replace(occ=renumber[(e.label, e.occ)])
                     for e in ps
                 )
                 for ps in self._pointsets
@@ -389,7 +389,7 @@ class TemporalPattern:
 def _iter_embeddings(
     pattern: Sequence[Sequence[Endpoint]],
     target: Sequence[Sequence[Endpoint]],
-):
+) -> Iterator[dict[_OccKey, int]]:
     """Yield distinct occurrence assignments phi for pattern in target.
 
     Each yielded value maps pattern occurrences ``(label, pocc)`` to
@@ -409,10 +409,15 @@ def _iter_embeddings(
         indexed.append({k: tuple(v) for k, v in idx.items()})
 
     n_pattern, n_target = len(pattern), len(target)
-    seen: set[tuple] = set()
+    seen: set[tuple[tuple[_OccKey, int], ...]] = set()
 
-    def match_pointset(ps, available, phi, used):
-        deterministic = []
+    def match_pointset(
+        ps: Sequence[Endpoint],
+        available: dict[tuple[str, int], tuple[int, ...]],
+        phi: dict[_OccKey, int],
+        used: set[_OccKey],
+    ) -> Iterator[tuple[dict[_OccKey, int], set[_OccKey]]]:
+        deterministic: list[tuple[str, int]] = []
         for ep in ps:
             if ep.kind == FINISH:
                 socc = phi.get((ep.label, ep.occ))
@@ -425,7 +430,7 @@ def _iter_embeddings(
         if not free:
             yield {}, set()
             return
-        choice_lists = []
+        choice_lists: list[tuple[Endpoint, list[int]]] = []
         for ep in free:
             kind = START if ep.kind == START else POINT
             candidates = [
@@ -437,7 +442,9 @@ def _iter_embeddings(
                 return
             choice_lists.append((ep, candidates))
 
-        def assign(i, phi_add, used_add):
+        def assign(
+            i: int, phi_add: dict[_OccKey, int], used_add: set[_OccKey]
+        ) -> Iterator[tuple[dict[_OccKey, int], set[_OccKey]]]:
             if i == len(choice_lists):
                 yield dict(phi_add), set(used_add)
                 return
@@ -454,7 +461,9 @@ def _iter_embeddings(
 
         yield from assign(0, {}, set())
 
-    def search(pi, t_from, phi, used):
+    def search(
+        pi: int, t_from: int, phi: dict[_OccKey, int], used: set[_OccKey]
+    ) -> Iterator[dict[_OccKey, int]]:
         if pi == n_pattern:
             key = tuple(sorted(phi.items()))
             if key not in seen:
@@ -499,7 +508,7 @@ def _match(
         available: dict[tuple[str, int], tuple[int, ...]],
         phi: dict[_OccKey, int],
         used: set[_OccKey],
-    ):
+    ) -> Iterator[tuple[dict[_OccKey, int], set[_OccKey]]]:
         """Yield (phi additions, used additions) for injective assignments."""
         deterministic: list[tuple[str, int]] = []
         free: list[Endpoint] = []
@@ -518,7 +527,7 @@ def _match(
         if not free:
             yield {}, set()
             return
-        choice_lists = []
+        choice_lists: list[tuple[Endpoint, list[int]]] = []
         for ep in free:
             kind = START if ep.kind == START else POINT
             candidates = [
@@ -529,8 +538,11 @@ def _match(
             if not candidates:
                 return
             choice_lists.append((ep, candidates))
+
         # Enumerate injective combinations over free tokens.
-        def assign(i: int, phi_add: dict, used_add: set):
+        def assign(
+            i: int, phi_add: dict[_OccKey, int], used_add: set[_OccKey]
+        ) -> Iterator[tuple[dict[_OccKey, int], set[_OccKey]]]:
             if i == len(choice_lists):
                 yield dict(phi_add), set(used_add)
                 return
@@ -579,18 +591,24 @@ class PatternWithSupport(tuple):
 
     __slots__ = ()
 
-    def __new__(cls, pattern: TemporalPattern, support: int):
+    def __new__(
+        cls, pattern: TemporalPattern, support: float
+    ) -> "PatternWithSupport":
         return super().__new__(cls, (pattern, support))
 
     @property
     def pattern(self) -> TemporalPattern:
         """The mined pattern."""
-        return self[0]
+        pattern: TemporalPattern = self[0]
+        return pattern
 
     @property
-    def support(self) -> int:
-        """Absolute support (number of supporting sequences)."""
-        return self[1]
+    def support(self) -> float:
+        """Support weight: a sequence count, or expected support for
+        weighted/probabilistic mining (integer-valued supports are
+        stored as ``int`` for readable results)."""
+        support: float = self[1]
+        return support
 
     def relative_support(self, db_size: int) -> float:
         """Support as a fraction of the database size."""
@@ -600,6 +618,6 @@ class PatternWithSupport(tuple):
         return f"PatternWithSupport({self.pattern!s}, support={self.support})"
 
     @staticmethod
-    def sort_key(item: "PatternWithSupport"):
+    def sort_key(item: "PatternWithSupport") -> tuple[float, int, str]:
         """Canonical result ordering used by every miner."""
         return (-item.support, item.pattern.num_tokens, str(item.pattern))

@@ -1,5 +1,7 @@
 """Temporal algebra: Allen relations, endpoint and matrix representations."""
 
+from __future__ import annotations
+
 from repro.temporal.allen import (
     ALL_RELATIONS,
     BASE_RELATIONS,

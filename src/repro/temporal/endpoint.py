@@ -30,7 +30,7 @@ Two layers live here:
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from typing import NamedTuple, Optional
 
 from repro.model.database import ESequenceDatabase
@@ -132,7 +132,7 @@ class EndpointSequence:
     def __len__(self) -> int:
         return len(self._pointsets)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Pointset]":
         return iter(self._pointsets)
 
     def __getitem__(self, index: int) -> Pointset:

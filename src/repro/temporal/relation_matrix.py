@@ -50,7 +50,9 @@ _EQ_LT: dict[AllenRelation, tuple[tuple[tuple[int, int], ...], tuple[tuple[int, 
 }
 
 
-def _constraints(rel: AllenRelation):
+def _constraints(
+    rel: AllenRelation,
+) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
     """(equalities, strict orders) as endpoint-code pairs for a relation."""
     if rel in _EQ_LT:
         return _EQ_LT[rel]

@@ -6,9 +6,24 @@ import random
 
 import pytest
 
+from repro import contracts
 from repro.model.database import ESequenceDatabase
 from repro.model.event import IntervalEvent
 from repro.model.sequence import ESequence
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _runtime_contracts():
+    """Run the whole suite with the runtime contract layer enabled.
+
+    Every mining call therefore asserts canonical emission, projection-
+    state consistency, and (on small inputs) pruning soundness against
+    the brute-force oracle. Individual tests can opt out with
+    ``contracts.enabled_scope(False)``.
+    """
+    contracts.enable()
+    yield
+    contracts.disable()
 
 
 def make_random_db(

@@ -1,0 +1,190 @@
+"""Tests for the runtime contract layer (``repro.contracts``).
+
+Covers the flag plumbing (env/enable/disable/scope), the ``check`` and
+``@contract`` primitives, the projection-state contract, and the
+pruning-soundness oracle — including that a deliberately sabotaged
+search is caught when contracts are on and invisible when they are off
+(the zero-cost-disabled guarantee).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import contracts
+from repro.contracts import ContractViolation, check, contract
+from repro.core.projection import State, check_state
+from repro.core.ptpminer import PTPMiner
+from repro.temporal.endpoint import EncodedSequence
+
+# ---------------------------------------------------------------------------
+# flag plumbing
+# ---------------------------------------------------------------------------
+
+def test_suite_runs_with_contracts_enabled():
+    """The session fixture in conftest.py turns the layer on suite-wide."""
+    assert contracts.is_enabled()
+
+
+def test_enable_disable_round_trip():
+    assert contracts.checking
+    contracts.disable()
+    try:
+        assert not contracts.is_enabled()
+    finally:
+        contracts.enable()
+    assert contracts.is_enabled()
+
+
+def test_enabled_scope_restores_prior_value():
+    with contracts.enabled_scope(False):
+        assert not contracts.checking
+        with contracts.enabled_scope(True):
+            assert contracts.checking
+        assert not contracts.checking
+    assert contracts.checking
+
+
+def test_violation_is_an_assertion_error():
+    assert issubclass(ContractViolation, AssertionError)
+
+
+# ---------------------------------------------------------------------------
+# check()
+# ---------------------------------------------------------------------------
+
+def test_check_raises_when_enabled():
+    with pytest.raises(ContractViolation, match="boom"):
+        check(False, "boom")
+    check(True, "fine")  # no raise
+
+
+def test_check_is_noop_when_disabled():
+    called = []
+    with contracts.enabled_scope(False):
+        check(False, "never raised", details=lambda: called.append("x") or "")
+    assert called == []
+
+
+def test_check_details_lazy_and_appended():
+    called = []
+
+    def details() -> str:
+        called.append("x")
+        return "extra context"
+
+    check(True, "fine", details=details)
+    assert called == []  # details only computed on failure
+    with pytest.raises(ContractViolation, match="extra context"):
+        check(False, "boom", details=details)
+
+
+# ---------------------------------------------------------------------------
+# @contract
+# ---------------------------------------------------------------------------
+
+def test_contract_pre_and_post():
+    @contract(pre=lambda x: x >= 0, post=lambda result, x: result >= x)
+    def increment(x: int) -> int:
+        return x + 1 if x < 10 else x - 1
+
+    assert increment(3) == 4
+    with pytest.raises(ContractViolation, match="precondition"):
+        increment(-1)
+    with pytest.raises(ContractViolation, match="postcondition"):
+        increment(10)
+
+
+def test_contract_forwards_when_disabled():
+    @contract(pre=lambda x: False)  # would always fail
+    def f(x: int) -> int:
+        return x * 2
+
+    with contracts.enabled_scope(False):
+        assert f(21) == 42
+
+
+# ---------------------------------------------------------------------------
+# projection-state contract
+# ---------------------------------------------------------------------------
+
+def _toy_sequence() -> EncodedSequence:
+    """Two pointsets; one interval occurrence (label_id 1, occ 0)."""
+    return EncodedSequence(
+        sid=0,
+        pointsets=[[(4, 0)], [(5, 0)]],
+        start_pos={(1, 0): 0},
+        finish_pos={(1, 0): 1},
+        times=(0.0, 1.0),
+    )
+
+
+def test_check_state_accepts_consistent_state():
+    seq = _toy_sequence()
+    check_state(State(-1, frozenset(), frozenset()), seq)
+    check_state(
+        State(0, frozenset({(1, 0, 0)}), frozenset({(1, 0)})), seq
+    )
+
+
+@pytest.mark.parametrize(
+    "state, match",
+    [
+        (State(5, frozenset(), frozenset()), "frontier out of range"),
+        (State(-2, frozenset(), frozenset()), "frontier out of range"),
+        (
+            State(0, frozenset({(1, 0, 0)}), frozenset()),
+            "not marked used",
+        ),
+        (
+            State(
+                0,
+                frozenset({(1, 0, 0), (1, 1, 0)}),
+                frozenset({(1, 0)}),
+            ),
+            "sequence occurrence bound twice",
+        ),
+        (
+            State(0, frozenset(), frozenset({(2, 0)})),
+            "missing from the sequence",
+        ),
+    ],
+)
+def test_check_state_rejects_corrupted_states(state, match):
+    with pytest.raises(ContractViolation, match=match):
+        check_state(state, _toy_sequence())
+
+
+# ---------------------------------------------------------------------------
+# pruning-soundness oracle
+# ---------------------------------------------------------------------------
+
+def _sabotage_search(monkeypatch):
+    """Patch the miner to silently drop its last found pattern."""
+    original = PTPMiner._search
+
+    def sabotaged(self, *args, **kwargs):
+        patterns = original(self, *args, **kwargs)
+        assert patterns, "sabotage needs at least one pattern to drop"
+        return patterns[:-1]
+
+    monkeypatch.setattr(PTPMiner, "_search", sabotaged)
+
+
+def test_oracle_catches_dropped_pattern(monkeypatch, two_interval_db):
+    _sabotage_search(monkeypatch)
+    with pytest.raises(ContractViolation, match="oracle"):
+        PTPMiner(0.5).mine(two_interval_db)
+
+
+def test_sabotage_invisible_when_disabled(monkeypatch, two_interval_db):
+    """Disabled contracts add no checking — the bug passes silently."""
+    _sabotage_search(monkeypatch)
+    with contracts.enabled_scope(False):
+        result = PTPMiner(0.5).mine(two_interval_db)
+    assert result.patterns  # mined, one pattern short, no error
+
+
+def test_clean_mining_passes_oracle(two_interval_db):
+    result = PTPMiner(0.5).mine(two_interval_db)
+    assert result.patterns

@@ -1,0 +1,286 @@
+"""Tests for the project lint tool (``tools.repro_lint``).
+
+Each rule gets a triggering snippet and a suppressed variant; the paths
+passed to :func:`lint_source` are synthetic and exercise the scoping
+logic (``src/repro`` modules vs. tests vs. everything else).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from tools.repro_lint import lint_source
+from tools.repro_lint.engine import iter_python_files, main
+
+
+def codes(source: str, path: str) -> list[str]:
+    """Lint a dedented snippet and return the violation codes."""
+    return [v.code for v in lint_source(textwrap.dedent(source), path)]
+
+
+# ---------------------------------------------------------------------------
+# R001 — direct Endpoint construction
+# ---------------------------------------------------------------------------
+
+def test_r001_flags_direct_construction():
+    snippet = """
+        from repro.temporal.endpoint import Endpoint
+
+        ep = Endpoint("A", 0, 1)
+    """
+    assert codes(snippet, "tools/demo.py") == ["R001"]
+
+
+def test_r001_exempts_endpoint_module_and_tests():
+    snippet = """
+        ep = Endpoint("A", 0, 1)
+    """
+    assert codes(snippet, "tests/test_demo.py") == []
+    # The canonical encoder module itself may construct endpoints.
+    assert "R001" not in codes(
+        '"""Doc."""\n__all__: list[str] = []\nep = Endpoint("A", 0, 1)\n',
+        "src/repro/temporal/endpoint.py",
+    )
+
+
+def test_r001_suppressible():
+    snippet = """
+        ep = Endpoint("A", 0, 1)  # repro-lint: ignore[R001]
+    """
+    assert codes(snippet, "tools/demo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R002 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+def test_r002_flags_mutable_defaults():
+    snippet = """
+        def f(x=[]):
+            return x
+
+        def g(*, y={}):
+            return y
+
+        def h(z=dict()):
+            return z
+    """
+    assert codes(snippet, "tools/demo.py") == ["R002", "R002", "R002"]
+
+
+def test_r002_allows_immutable_defaults():
+    snippet = """
+        def f(x=(), y=None, z=0):
+            return (x, y, z)
+    """
+    assert codes(snippet, "tools/demo.py") == []
+
+
+def test_r002_suppressible():
+    snippet = """
+        def f(x=[]):  # repro-lint: ignore[R002]
+            return x
+    """
+    assert codes(snippet, "tools/demo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R003 — public API annotations and docstrings (src/repro only)
+# ---------------------------------------------------------------------------
+
+def test_r003_flags_bare_public_function():
+    snippet = """
+        __all__ = ["f"]
+
+
+        def f(x):
+            return x
+    """
+    got = codes(snippet, "src/repro/core/demo.py")
+    # Missing docstring, unannotated parameter, missing return annotation.
+    assert got == ["R003", "R003", "R003"]
+
+
+def test_r003_passes_fully_typed_function():
+    snippet = '''
+        __all__ = ["f"]
+
+
+        def f(x: int) -> int:
+            """Identity."""
+            return x
+    '''
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+def test_r003_only_applies_inside_repro_src():
+    snippet = """
+        def f(x):
+            return x
+    """
+    assert codes(snippet, "tools/demo.py") == []
+    assert codes(snippet, "tests/test_demo.py") == []
+
+
+def test_r003_suppressible():
+    snippet = """
+        __all__ = ["f"]
+
+
+        def f(x):  # repro-lint: ignore[R003]
+            return x
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R004 — __all__ present and consistent (src/repro only)
+# ---------------------------------------------------------------------------
+
+def test_r004_flags_missing_dunder_all():
+    snippet = '''
+        """Doc."""
+
+
+        def f() -> None:
+            """Doc."""
+    '''
+    assert "R004" in codes(snippet, "src/repro/core/demo.py")
+
+
+def test_r004_flags_inconsistent_dunder_all():
+    unlisted = '''
+        __all__: list[str] = []
+
+
+        def f() -> None:
+            """Doc."""
+    '''
+    undefined = '''
+        __all__ = ["ghost"]
+    '''
+    assert codes(unlisted, "src/repro/core/demo.py") == ["R004"]
+    assert codes(undefined, "src/repro/core/demo.py") == ["R004"]
+
+
+def test_r004_passes_consistent_module():
+    snippet = '''
+        __all__ = ["f", "helper"]
+
+        from tools.repro_lint import lint_source as helper
+
+
+        def f() -> None:
+            """Doc."""
+    '''
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+def test_r004_suppressible():
+    # The missing-__all__ violation anchors at line 1, so the suppression
+    # comment must sit on the file's first line.
+    source = '# repro-lint: ignore[R004]\n"""Doc."""\n'
+    assert [v.code for v in lint_source(source, "src/repro/core/demo.py")] == []
+
+
+# ---------------------------------------------------------------------------
+# R005 — wall-clock time in core mining code
+# ---------------------------------------------------------------------------
+
+def test_r005_flags_wall_clock_in_core():
+    snippet = """
+        __all__: list[str] = []
+        import time
+
+        _T = time.time()
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == ["R005"]
+    assert codes(snippet, "src/repro/temporal/demo.py") == ["R005"]
+
+
+def test_r005_flags_time_import_and_ignores_perf_counter():
+    bad_import = """
+        __all__: list[str] = []
+        from time import time
+    """
+    ok = """
+        __all__: list[str] = []
+        import time
+
+        _T = time.perf_counter()
+    """
+    assert codes(bad_import, "src/repro/core/demo.py") == ["R005"]
+    assert codes(ok, "src/repro/core/demo.py") == []
+
+
+def test_r005_scoped_to_core_packages():
+    snippet = """
+        __all__: list[str] = []
+        import time
+
+        _T = time.time()
+    """
+    assert codes(snippet, "src/repro/harness/demo.py") == []
+    assert codes(snippet, "tools/demo.py") == []
+
+
+def test_r005_suppressible():
+    snippet = """
+        __all__: list[str] = []
+        import time
+
+        _T = time.time()  # repro-lint: ignore[R005]
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# engine behaviour
+# ---------------------------------------------------------------------------
+
+def test_bare_ignore_suppresses_every_rule():
+    snippet = """
+        def f(x=[]):  # repro-lint: ignore
+            return x
+    """
+    assert codes(snippet, "tools/demo.py") == []
+
+
+def test_violations_carry_location_and_render():
+    found = lint_source("def f(x=[]):\n    return x\n", "tools/demo.py")
+    assert len(found) == 1
+    violation = found[0]
+    assert (violation.line, violation.code) == (1, "R002")
+    assert violation.render().startswith("tools/demo.py:1:")
+    assert "R002" in violation.render()
+
+
+def test_iter_python_files_skips_pycache(tmp_path: Path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    cache = tmp_path / "pkg" / "__pycache__"
+    cache.mkdir()
+    (cache / "mod.cpython-311.py").write_text("x = 1\n")
+    found = list(iter_python_files([tmp_path]))
+    assert [p.name for p in found] == ["mod.py"]
+
+
+def test_main_exit_codes(tmp_path: Path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main([str(clean)]) == 0
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr()
+    assert "R002" in out.out
+
+    assert main([str(tmp_path / "missing.txt")]) == 2
+
+
+def test_repo_is_lint_clean():
+    """The gate the CI runs: the shipped tree has zero violations."""
+    root = Path(__file__).resolve().parents[2]
+    assert main([str(root / "src"), str(root / "tests")]) == 0

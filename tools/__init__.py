@@ -1,0 +1,5 @@
+"""Repo-local developer tooling.
+
+Packages under ``tools/`` support development of the ``repro`` library
+(custom lint rules, CI helpers) and are not shipped with the package.
+"""

@@ -1,0 +1,66 @@
+"""repro-lint — repo-specific AST lint rules for the P-TPMiner codebase.
+
+The generic gates (ruff, mypy) cannot see *domain* invariants, so this
+package checks the handful of repo-specific rules that keep the paper's
+correctness arguments machine-enforced:
+
+``R001``
+    No direct ``Endpoint(...)`` construction outside
+    ``repro.temporal.endpoint``. Endpoints must come from the canonical
+    encoder (:func:`repro.temporal.endpoint.endpoint_sequence_of`,
+    :meth:`EncodedDatabase.decode_token`, :meth:`Endpoint.parse`) or be
+    derived from an existing endpoint (``._replace``), so canonical
+    ordering and occurrence numbering cannot be violated by hand-built
+    tokens. Test modules are exempt (fixtures legitimately build raw
+    endpoints to probe validation).
+
+``R002``
+    No mutable default arguments (``def f(x=[])`` and friends), anywhere.
+
+``R003``
+    Every public function, class, and public method in ``src/repro`` has
+    complete type annotations (parameters and return) and a docstring.
+    Dunder methods are exempt.
+
+``R004``
+    Every module in ``src/repro`` defines ``__all__``, every public
+    top-level function/class appears in it, and every exported name is
+    actually defined in the module.
+
+``R005``
+    No wall-clock ``time.time()`` in core mining code paths
+    (``repro.core``, ``repro.temporal``) — timing belongs to the harness
+    and to miner-boundary accounting (``time.perf_counter``).
+
+Any rule is suppressible on a given line with a trailing comment::
+
+    endpoint = Endpoint("A", 1, START)  # repro-lint: ignore[R001]
+
+``# repro-lint: ignore`` (no code) suppresses every rule on that line;
+``ignore[R001,R003]`` suppresses the listed codes only. The comment must
+sit on the line the violation is reported at (the ``def``/call line).
+
+Run as ``python -m tools.repro_lint src tests`` — exit status 0 means
+clean, 1 means violations (printed one per line), 2 means usage error.
+"""
+
+from __future__ import annotations
+
+from tools.repro_lint.engine import (
+    FileContext,
+    Violation,
+    lint_paths,
+    lint_source,
+    main,
+)
+from tools.repro_lint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

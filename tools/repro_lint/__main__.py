@@ -1,0 +1,10 @@
+"""Module entry point: ``python -m tools.repro_lint src tests``."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.repro_lint.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

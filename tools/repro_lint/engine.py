@@ -1,0 +1,207 @@
+"""Lint engine: file discovery, suppression handling, rule dispatch.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so the
+lint gate runs anywhere the test suite runs, including the bare CI
+container. Rules live in :mod:`tools.repro_lint.rules`; this module owns
+everything rule-independent: walking paths, classifying files (test
+module? inside ``src/repro``?), parsing sources, applying
+``# repro-lint: ignore[...]`` suppressions, and the CLI.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FileContext",
+    "Violation",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+#: Matches a suppression comment anywhere in a line. Group 1, when
+#: present, is the comma-separated code list; absent means "all rules".
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?"
+)
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, reported as ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """Human/CI-readable single-line form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    is_test: bool
+    module: str | None  # dotted module name when under src/, else None
+    suppressions: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+    @property
+    def in_repro_src(self) -> bool:
+        """True for modules of the shipped ``repro`` package."""
+        return self.module is not None and (
+            self.module == "repro" or self.module.startswith("repro.")
+        )
+
+    def violation(self, node: ast.AST, code: str, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+def _parse_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line number -> suppressed codes (``None`` = all)."""
+    table: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes_text = match.group(1)
+        if codes_text is None:
+            table[lineno] = None
+        else:
+            codes = frozenset(
+                code.strip() for code in codes_text.split(",") if code.strip()
+            )
+            table[lineno] = codes if codes else None
+    return table
+
+
+def _module_name(path: Path) -> str | None:
+    """Dotted module name for files under a ``src/`` root (else None)."""
+    parts = path.parts
+    if "src" not in parts:
+        return None
+    rel = parts[parts.index("src") + 1 :]
+    if not rel or not rel[-1].endswith(".py"):
+        return None
+    pieces = list(rel[:-1])
+    stem = rel[-1][: -len(".py")]
+    if stem != "__init__":
+        pieces.append(stem)
+    return ".".join(pieces) if pieces else None
+
+
+def _is_test_file(path: Path) -> bool:
+    name = path.name
+    return (
+        "tests" in path.parts
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+def build_context(path: Path, source: str) -> FileContext:
+    """Parse ``source`` and classify ``path`` for the rules."""
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(
+        path=str(path),
+        source=source,
+        tree=tree,
+        is_test=_is_test_file(path),
+        module=_module_name(path),
+        suppressions=_parse_suppressions(source),
+    )
+
+
+def _is_suppressed(ctx: FileContext, violation: Violation) -> bool:
+    codes = ctx.suppressions.get(violation.line, frozenset())
+    if codes is None:  # bare "ignore": every rule on this line
+        return True
+    return violation.code in codes
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    rules: Sequence[object] | None = None,
+) -> list[Violation]:
+    """Lint one in-memory source text; returns surviving violations.
+
+    Raises :class:`SyntaxError` when the source does not parse — a file
+    that cannot be parsed is a build problem, not a lint finding.
+    """
+    from tools.repro_lint.rules import ALL_RULES
+
+    ctx = build_context(Path(path), source)
+    active = ALL_RULES if rules is None else rules
+    found: list[Violation] = []
+    for rule in active:
+        for violation in rule.check(ctx):  # type: ignore[attr-defined]
+            if not _is_suppressed(ctx, violation):
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return found
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under the given files/directories, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIR_NAMES.intersection(sub.parts):
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Violation]:
+    """Lint every python file under ``paths``."""
+    found: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        found.extend(lint_source(file_path.read_text(), file_path))
+    return found
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: ``python -m tools.repro_lint src tests``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or any(a in ("-h", "--help") for a in args):
+        print(__doc__, file=sys.stderr)
+        print("usage: python -m tools.repro_lint PATH [PATH ...]", file=sys.stderr)
+        return 0 if args else 2
+    try:
+        violations = lint_paths(args)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.render())
+    count = len(violations)
+    if count:
+        print(f"repro-lint: {count} violation(s)", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,389 @@
+"""The five repro-specific lint rules (R001–R005).
+
+Each rule is a small object with a ``code``, a one-line ``summary``, and
+a ``check(ctx)`` generator yielding :class:`Violation` objects. Scoping
+conventions (which files a rule applies to) live inside each rule and
+are documented in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import Protocol
+
+from tools.repro_lint.engine import FileContext, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "EndpointConstructionRule",
+    "MutableDefaultRule",
+    "PublicApiRule",
+    "DunderAllRule",
+    "WallClockRule",
+]
+
+#: Module that owns canonical Endpoint construction (exempt from R001).
+_ENDPOINT_MODULE = "repro.temporal.endpoint"
+
+#: Call names whose result is a fresh mutable container (R002).
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+}
+
+#: Core mining packages where wall-clock reads are banned (R005).
+_CORE_PREFIXES = ("repro.core", "repro.temporal")
+
+
+class Rule(Protocol):
+    """Interface every lint rule implements."""
+
+    code: str
+    summary: str
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield violations found in ``ctx``."""
+        ...
+
+
+def _called_name(node: ast.Call) -> str | None:
+    """The simple name being called, for ``f(...)`` and ``m.f(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class EndpointConstructionRule:
+    """R001 — ``Endpoint(...)`` may only be built by the canonical encoder.
+
+    A hand-built endpoint can violate canonical occurrence numbering or
+    kind ordering without crashing, silently corrupting mined patterns.
+    Production code must obtain endpoints from
+    ``repro.temporal.endpoint`` (``endpoint_sequence_of``,
+    ``EncodedDatabase.decode_token``, ``Endpoint.parse``) or derive them
+    from an existing endpoint via ``._replace``. Tests are exempt: they
+    construct raw endpoints on purpose to probe validation.
+    """
+
+    code = "R001"
+    summary = "direct Endpoint(...) construction outside the canonical encoder"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag ``Endpoint(...)`` call expressions in non-exempt files."""
+        if ctx.is_test or ctx.module == _ENDPOINT_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _called_name(node) == "Endpoint":
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    "direct Endpoint(...) construction; go through "
+                    "repro.temporal.endpoint (encoder, decode_token, parse, "
+                    "or ._replace on an existing endpoint)",
+                )
+
+
+class MutableDefaultRule:
+    """R002 — no mutable default arguments, anywhere.
+
+    ``def f(x=[])`` shares one list across calls; the same applies to
+    dict/set displays, comprehensions, and mutable-container factory
+    calls used as defaults.
+    """
+
+    code = "R002"
+    summary = "mutable default argument"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag mutable expressions used as parameter defaults."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield ctx.violation(
+                        default,
+                        self.code,
+                        "mutable default argument; default to None and "
+                        "build the container inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and _called_name(node) in _MUTABLE_FACTORIES
+        )
+
+
+def _is_public_name(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+class PublicApiRule:
+    """R003 — public API in ``src/repro`` is annotated and documented.
+
+    Every public module-level function, public class, and public method
+    must carry complete parameter annotations, a return annotation, and
+    a docstring. Dunder methods and ``@overload`` stubs are exempt.
+    """
+
+    code = "R003"
+    summary = "public function/class missing annotations or docstring"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Check top-level defs and one level of class bodies."""
+        if not ctx.in_repro_src or ctx.is_test:
+            return
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public_name(node.name):
+                    yield from self._check_function(ctx, node, method=False)
+            elif isinstance(node, ast.ClassDef) and _is_public_name(node.name):
+                if ast.get_docstring(node) is None:
+                    yield ctx.violation(
+                        node,
+                        self.code,
+                        f"public class {node.name!r} has no docstring",
+                    )
+                for item in node.body:
+                    if not isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if _is_dunder(item.name) or not _is_public_name(item.name):
+                        continue
+                    yield from self._check_function(ctx, item, method=True)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        method: bool,
+    ) -> Iterator[Violation]:
+        decorators = _decorator_names(node)
+        if "overload" in decorators:
+            return
+        kind = "method" if method else "function"
+        if ast.get_docstring(node) is None:
+            yield ctx.violation(
+                node,
+                self.code,
+                f"public {kind} {node.name!r} has no docstring",
+            )
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if method and "staticmethod" not in decorators and positional:
+            positional = positional[1:]  # self / cls
+        unannotated = [
+            arg.arg
+            for arg in (
+                positional
+                + list(args.kwonlyargs)
+                + [a for a in (args.vararg, args.kwarg) if a is not None]
+            )
+            if arg.annotation is None
+        ]
+        if unannotated:
+            yield ctx.violation(
+                node,
+                self.code,
+                f"public {kind} {node.name!r} has unannotated "
+                f"parameter(s): {', '.join(unannotated)}",
+            )
+        if node.returns is None:
+            yield ctx.violation(
+                node,
+                self.code,
+                f"public {kind} {node.name!r} has no return annotation",
+            )
+
+
+class DunderAllRule:
+    """R004 — ``__all__`` exists and matches the module's public names.
+
+    Every ``src/repro`` module must define a literal ``__all__``; every
+    public top-level function/class must be listed in it, and every
+    listed name must actually be defined (or imported) at top level.
+    Public constants and type aliases may stay out of ``__all__``.
+    """
+
+    code = "R004"
+    summary = "__all__ missing or inconsistent with public names"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Compare ``__all__`` against top-level definitions."""
+        if not ctx.in_repro_src or ctx.is_test:
+            return
+        exported, all_node = self._find_all(ctx.tree)
+        if all_node is None:
+            yield Violation(
+                path=ctx.path,
+                line=1,
+                col=0,
+                code=self.code,
+                message="module defines no literal __all__",
+            )
+            return
+        defined = self._top_level_names(ctx.tree)
+        public_defs = {
+            node.name
+            for node in ctx.tree.body
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            and _is_public_name(node.name)
+        }
+        for name in sorted(public_defs - exported):
+            yield ctx.violation(
+                all_node,
+                self.code,
+                f"public name {name!r} is defined but missing from __all__",
+            )
+        for name in sorted(exported - defined):
+            yield ctx.violation(
+                all_node,
+                self.code,
+                f"__all__ exports {name!r} which is not defined at top level",
+            )
+
+    @staticmethod
+    def _find_all(tree: ast.Module) -> tuple[set[str], ast.stmt | None]:
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(value, (ast.List, ast.Tuple)):
+                        names = {
+                            elt.value
+                            for elt in value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)
+                        }
+                        return names, node
+                    return set(), node
+        return set(), None
+
+    @staticmethod
+    def _top_level_names(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+                    elif isinstance(target, ast.Tuple):
+                        names.update(
+                            elt.id
+                            for elt in target.elts
+                            if isinstance(elt, ast.Name)
+                        )
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                names.update(
+                    (alias.asname or alias.name).split(".")[0]
+                    for alias in node.names
+                )
+            elif isinstance(node, ast.ImportFrom):
+                names.update(
+                    alias.asname or alias.name for alias in node.names
+                )
+        return names
+
+
+class WallClockRule:
+    """R005 — no wall-clock ``time.time()`` in core mining code.
+
+    Timing belongs to the harness; the miners account elapsed time at
+    their public boundary with the monotonic ``time.perf_counter``.
+    ``time.time()`` inside ``repro.core`` / ``repro.temporal`` is either
+    dead instrumentation or a nondeterminism hazard.
+    """
+
+    code = "R005"
+    summary = "wall-clock time.time() in core mining code"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag ``time.time()`` calls and ``from time import time``."""
+        if ctx.module is None or not ctx.module.startswith(_CORE_PREFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "time"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ):
+                    yield ctx.violation(
+                        node,
+                        self.code,
+                        "time.time() in core mining code; timing belongs "
+                        "to the harness (use time.perf_counter at miner "
+                        "boundaries)",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                if any(alias.name == "time" for alias in node.names):
+                    yield ctx.violation(
+                        node,
+                        self.code,
+                        "importing wall-clock time() into core mining code",
+                    )
+
+
+#: The registry the engine runs, in code order.
+ALL_RULES: tuple[Rule, ...] = (
+    EndpointConstructionRule(),
+    MutableDefaultRule(),
+    PublicApiRule(),
+    DunderAllRule(),
+    WallClockRule(),
+)
