@@ -30,7 +30,7 @@ architecture and experiment map.
 
 from __future__ import annotations
 
-from repro import contracts
+from repro import contracts, obs
 from repro.core.closed import filter_closed, filter_maximal
 from repro.core.probabilistic import ProbabilisticTPMiner
 from repro.core.pruning import PruningConfig
@@ -49,8 +49,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
-    # runtime contracts
+    # runtime contracts & observability
     "contracts",
+    "obs",
     # data model
     "IntervalEvent",
     "point_event",

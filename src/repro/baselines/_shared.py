@@ -10,18 +10,58 @@ exactly the structural cost the paper's algorithm removes.
 depth-first searches: the pointsets, occurrence numbering, the open
 (unfinished) intervals, and the canonical-generation constraints
 (I-extension token ordering and the duplicate finish rule).
+
+This module is also where the baselines meet the observability layer:
+:func:`run_clock` routes their boundary timing through the injectable
+:mod:`repro.obs.clock`, and :func:`publish_run` mirrors a finished run's
+:class:`~repro.core.pruning.PruneCounters` and run gauges into the
+active metrics registry (a no-op dict when observability is off), so
+harness sweeps and ``--metrics-out`` see baselines and P-TPMiner through
+the same snapshot shape.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
+from repro.core.pruning import PruneCounters
+from repro.core.ptpminer import _run_snapshot
 from repro.model.pattern import TemporalPattern
+from repro.obs import clock as _obs_clock
+from repro.obs import metrics as _obs_metrics
 from repro.temporal.endpoint import FINISH, POINT, START, Endpoint
 
-__all__ = ["PatternBuilder", "S_EXT", "I_EXT"]
+__all__ = ["PatternBuilder", "S_EXT", "I_EXT", "publish_run", "run_clock"]
 
 S_EXT, I_EXT = "S", "I"
+
+
+def run_clock() -> float:
+    """Monotonic seconds from the observability clock (injectable)."""
+    return _obs_clock.now()
+
+
+def publish_run(
+    counters: PruneCounters,
+    *,
+    patterns: int,
+    elapsed: float,
+    db_size: int,
+    threshold: float,
+) -> dict[str, Any]:
+    """Publish a finished run to the active registry; return its snapshot.
+
+    Returns ``{}`` when no registry is installed — the value baselines
+    pass straight to :class:`~repro.core.ptpminer.MiningResult.metrics`.
+    """
+    return _run_snapshot(
+        _obs_metrics.active_registry(),
+        counters,
+        patterns=patterns,
+        elapsed=elapsed,
+        db_size=db_size,
+        threshold=threshold,
+    )
 
 
 class PatternBuilder:

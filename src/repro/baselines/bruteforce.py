@@ -11,9 +11,9 @@ cross-checks every other miner against it, and the agreement experiment
 from __future__ import annotations
 
 import itertools
-import time
 from typing import Optional
 
+from repro.baselines._shared import publish_run, run_clock
 from repro.core.pruning import PruneCounters
 from repro.core.ptpminer import MiningResult
 from repro.model.database import ESequenceDatabase
@@ -66,7 +66,7 @@ class BruteForceMiner:
                         "database contains point events; mine with "
                         'mode="htp" or strip them first'
                     )
-        started = time.perf_counter()
+        started = run_clock()
         threshold = db.absolute_support(self.min_sup)
         supporters: dict[TemporalPattern, set[int]] = {}
         counters = PruneCounters()
@@ -96,12 +96,20 @@ class BruteForceMiner:
         ]
         patterns.sort(key=PatternWithSupport.sort_key)
         counters.patterns_emitted = len(patterns)
+        elapsed = run_clock() - started
         return MiningResult(
             patterns=patterns,
             threshold=float(threshold),
             db_size=len(db),
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
             counters=counters,
+            metrics=publish_run(
+                counters,
+                patterns=len(patterns),
+                elapsed=elapsed,
+                db_size=len(db),
+                threshold=float(threshold),
+            ),
             miner="BruteForce",
             params={"min_sup": self.min_sup, "mode": self.mode,
                     "max_size": self.max_size},

@@ -16,10 +16,15 @@ counting over a candidate superset); benches F1-F3 report the cost.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
-from repro.baselines._shared import I_EXT, S_EXT, PatternBuilder
+from repro.baselines._shared import (
+    I_EXT,
+    S_EXT,
+    PatternBuilder,
+    publish_run,
+    run_clock,
+)
 from repro.core.pruning import PruneCounters
 from repro.core.ptpminer import MiningResult
 from repro.model.database import ESequenceDatabase
@@ -58,7 +63,7 @@ class HDFSMiner:
                         "database contains point events; mine with "
                         'mode="htp" or strip them first'
                     )
-        started = time.perf_counter()
+        started = run_clock()
         threshold = db.absolute_support(self.min_sup)
         counters = PruneCounters()
         endpoint_seqs: dict[int, EndpointSequence] = {
@@ -140,12 +145,20 @@ class HDFSMiner:
 
         dfs(frozenset(endpoint_seqs))
         results.sort(key=PatternWithSupport.sort_key)
+        elapsed = run_clock() - started
         return MiningResult(
             patterns=results,
             threshold=float(threshold),
             db_size=len(db),
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
             counters=counters,
+            metrics=publish_run(
+                counters,
+                patterns=len(results),
+                elapsed=elapsed,
+                db_size=len(db),
+                threshold=float(threshold),
+            ),
             miner="H-DFS",
             params={
                 "min_sup": self.min_sup,

@@ -28,10 +28,10 @@ candidate explosion is what benches F1/F2 measure.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Optional
 
+from repro.baselines._shared import publish_run, run_clock
 from repro.core.pruning import PruneCounters
 from repro.core.ptpminer import MiningResult
 from repro.model.database import ESequenceDatabase
@@ -67,7 +67,7 @@ class IEMiner:
                     "IEMiner's relation matrices cannot express point "
                     "events; strip them or use P-TPMiner in htp mode"
                 )
-        started = time.perf_counter()
+        started = run_clock()
         threshold = db.absolute_support(self.min_sup)
         counters = PruneCounters()
         endpoint_seqs: dict[int, EndpointSequence] = {
@@ -135,12 +135,20 @@ class IEMiner:
         ]
         patterns.sort(key=PatternWithSupport.sort_key)
         counters.patterns_emitted = len(patterns)
+        elapsed = run_clock() - started
         return MiningResult(
             patterns=patterns,
             threshold=float(threshold),
             db_size=len(db),
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
             counters=counters,
+            metrics=publish_run(
+                counters,
+                patterns=len(patterns),
+                elapsed=elapsed,
+                db_size=len(db),
+                threshold=float(threshold),
+            ),
             miner="IEMiner",
             params={"min_sup": self.min_sup, "max_size": self.max_size},
         )

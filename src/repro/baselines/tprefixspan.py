@@ -24,12 +24,17 @@ projection states.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from collections.abc import Iterable
 from typing import Optional
 
-from repro.baselines._shared import I_EXT, S_EXT, PatternBuilder
+from repro.baselines._shared import (
+    I_EXT,
+    S_EXT,
+    PatternBuilder,
+    publish_run,
+    run_clock,
+)
 from repro.core.pruning import PruneCounters
 from repro.core.ptpminer import MiningResult
 from repro.model.database import ESequenceDatabase
@@ -76,7 +81,7 @@ class TPrefixSpanMiner:
                         "database contains point events; mine with "
                         'mode="htp" or strip them first'
                     )
-        started = time.perf_counter()
+        started = run_clock()
         threshold = db.absolute_support(self.min_sup)
         counters = PruneCounters()
         endpoint_seqs: dict[int, EndpointSequence] = {
@@ -187,12 +192,20 @@ class TPrefixSpanMiner:
         root_ends = {sid: -1 for sid in root_supporters}
         dfs(root_supporters, root_ends)
         results.sort(key=PatternWithSupport.sort_key)
+        elapsed = run_clock() - started
         return MiningResult(
             patterns=results,
             threshold=float(threshold),
             db_size=len(db),
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
             counters=counters,
+            metrics=publish_run(
+                counters,
+                patterns=len(results),
+                elapsed=elapsed,
+                db_size=len(db),
+                threshold=float(threshold),
+            ),
             miner="TPrefixSpan",
             params={
                 "min_sup": self.min_sup,

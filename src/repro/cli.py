@@ -9,6 +9,14 @@ Subcommands
 ``stats``
     Print descriptive statistics of a database file.
 
+Observability
+-------------
+``mine`` exposes the :mod:`repro.obs` layer: ``--trace FILE`` streams a
+JSONL span trace, ``--metrics-out FILE`` writes the run's metrics
+snapshot as JSON (render it with ``python -m repro.obs.report FILE``),
+``--progress`` prints throttled search heartbeats to stderr, and the
+global ``--log-level`` configures the standard-library logging root.
+
 Examples
 --------
 .. code-block:: shell
@@ -16,14 +24,20 @@ Examples
     ptpminer generate --dataset sparse --out sparse.txt
     ptpminer mine sparse.txt --min-sup 0.05 --top 20
     ptpminer mine sparse.txt --min-sup 0.05 --miner tprefixspan --out pats.txt
+    ptpminer mine sparse.txt --metrics-out metrics.json --trace trace.jsonl
     ptpminer stats sparse.txt
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from collections.abc import Sequence
+from contextlib import ExitStack
+
+from repro import obs
 
 from repro.baselines import (
     BruteForceMiner,
@@ -150,10 +164,34 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print("--top-k requires the ptpminer miner", file=sys.stderr)
         return 2
     miner = _build_miner(args)
-    if args.top_k:
-        result = miner.mine_top_k(db, args.top_k)
-    else:
-        result = miner.mine(db)
+    registry = None
+    with ExitStack() as stack:
+        if args.metrics_out:
+            registry = obs.MetricsRegistry()
+            stack.enter_context(obs.metrics.use_registry(registry))
+        if args.trace:
+            writer = stack.enter_context(obs.JsonlTraceWriter.open(args.trace))
+            stack.enter_context(obs.trace.use_tracer(writer))
+        if args.progress:
+            stack.enter_context(
+                obs.progress.use_reporter(
+                    obs.ProgressReporter(stream=sys.stderr)
+                )
+            )
+        if args.top_k:
+            result = miner.mine_top_k(db, args.top_k)
+        else:
+            result = miner.mine(db)
+    if args.metrics_out:
+        assert registry is not None
+        snapshot = result.metrics or registry.snapshot()
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics snapshot to {args.metrics_out}",
+              file=sys.stderr)
+    if args.trace:
+        print(f"wrote span trace to {args.trace}", file=sys.stderr)
     print(
         f"{result.miner}: {len(result.patterns)} patterns "
         f"(threshold {result.threshold:g}/{result.db_size}, "
@@ -194,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="ptpminer",
         description="Mine temporal patterns in interval-based data "
                     "(ICDE 2016 reproduction).",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="configure stdlib logging to stderr at this level",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -239,6 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
     mine_p.add_argument("--no-point-prune", action="store_true")
     mine_p.add_argument("--no-pair-prune", action="store_true")
     mine_p.add_argument("--no-postfix-prune", action="store_true")
+    mine_p.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a JSONL span trace of the run")
+    mine_p.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the run's metrics snapshot as JSON "
+                             "(render with 'python -m repro.obs.report')")
+    mine_p.add_argument("--progress", action="store_true",
+                        help="print throttled search heartbeats to stderr")
     mine_p.set_defaults(func=_cmd_mine)
 
     stats_p = sub.add_parser("stats", help="describe a database file")
@@ -248,10 +299,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_logging(level_name: str | None) -> None:
+    if level_name is None:
+        return
+    logging.basicConfig(
+        level=getattr(logging, level_name.upper()),
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
     return args.func(args)
 
 

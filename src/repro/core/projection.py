@@ -123,13 +123,25 @@ def check_state(state: State, seq: EncodedSequence) -> None:
         )
 
 
-def dedupe_states(states: list[State]) -> tuple[State, ...]:
+def dedupe_states(
+    states: list[State], stats: Optional[dict[str, int]] = None
+) -> tuple[State, ...]:
     """Remove exact duplicate states, preserving first-seen order.
 
     Duplicates arise when several of a state's extensions land on the
     same frontier (e.g. two identical duplicate events). See the module
     docstring for why subset-dominance reduction cannot apply.
+
+    ``stats``, when given, accumulates the number of duplicates removed
+    under the ``"states_deduped"`` key — the hook the observability
+    layer uses (:mod:`repro.obs.metrics`) without costing the disabled
+    path anything.
     """
     if len(states) <= 1:
         return tuple(states)
-    return tuple(dict.fromkeys(states))
+    deduped = tuple(dict.fromkeys(states))
+    if stats is not None and len(deduped) != len(states):
+        stats["states_deduped"] = (
+            stats.get("states_deduped", 0) + len(states) - len(deduped)
+        )
+    return deduped

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import contracts
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["PruningConfig", "PruneCounters"]
 
@@ -104,6 +105,21 @@ class PruneCounters:
         }
         out.update(self.extras)
         return out
+
+    def publish(
+        self, registry: MetricsRegistry, *, prefix: str = "search."
+    ) -> None:
+        """Absorb the totals into a metrics registry as ``search.*`` counters.
+
+        The ``counters`` field on :class:`~repro.core.ptpminer.MiningResult`
+        stays the source of truth; this mirrors the same totals into the
+        observability snapshot so metrics JSON, trace attributes, and
+        harness rows all agree with it by construction.
+        """
+        registry.absorb(
+            {name: float(value) for name, value in self.as_dict().items()},
+            prefix=prefix,
+        )
 
     def check_consistency(self) -> None:
         """Contract: the counters form a coherent account of one search.

@@ -30,7 +30,6 @@ bench F7 measures.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -42,6 +41,11 @@ from repro.core.pruning import PruneCounters, PruningConfig
 from repro.model.database import ESequenceDatabase
 from repro.model.pattern import PatternWithSupport, TemporalPattern
 from repro.model.sequence import ESequence
+from repro.obs import clock as obs_clock
+from repro.obs import metrics as obs_metrics
+from repro.obs import progress as obs_progress
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.temporal.endpoint import (
     FINISH,
     POINT,
@@ -57,6 +61,35 @@ _MODES = ("tp", "htp")
 _Candidate = tuple[int, int, int]
 _I_EXT, _S_EXT = 0, 1
 _EPS = 1e-9
+
+#: Histogram bounds for candidates discovered per search node (obs only).
+_CANDIDATE_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0)
+
+
+def _run_snapshot(
+    registry: Optional[MetricsRegistry],
+    counters: PruneCounters,
+    *,
+    patterns: int,
+    elapsed: float,
+    db_size: int,
+    threshold: float,
+) -> dict[str, Any]:
+    """Finalize one run's observability snapshot (``{}`` when obs is off).
+
+    Mirrors the :class:`PruneCounters` totals into ``search.*`` counters
+    — so the snapshot's prune accounting equals the ``counters`` field
+    by construction — and records run-level gauges next to whatever the
+    search already streamed into the registry.
+    """
+    if registry is None:
+        return {}
+    counters.publish(registry)
+    registry.gauge("run.patterns").set(patterns)
+    registry.gauge("run.elapsed_s").set(elapsed)
+    registry.gauge("run.db_size").set(db_size)
+    registry.gauge("run.threshold").set(threshold)
+    return registry.snapshot()
 
 
 @dataclass(slots=True)
@@ -79,6 +112,12 @@ class MiningResult:
         Search-effort accounting (:class:`PruneCounters`).
     miner / params:
         Provenance for harness tables.
+    metrics:
+        Observability snapshot of the run
+        (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`): phase
+        timings, per-depth/per-length search shape, and the ``search.*``
+        mirror of ``counters``. Empty (``{}``) unless a metrics registry
+        was active during the run — the zero-cost-when-off default.
     """
 
     patterns: list[PatternWithSupport]
@@ -88,6 +127,7 @@ class MiningResult:
     counters: PruneCounters
     miner: str = "P-TPMiner"
     params: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.patterns)
@@ -202,29 +242,49 @@ class PTPMiner:
                         'mode="htp" or strip them with '
                         "db.without_point_events()"
                     )
-        started = time.perf_counter()
+        started = obs_clock.now()
         counters = PruneCounters()
         mining_db = db
-        if self.pruning.point:
-            mining_db = self._point_prune(db, weights, threshold, counters)
-        encoded = EncodedDatabase(mining_db)
-        pairs = (
-            PairTables(encoded, weights) if self.pruning.pair else None
-        )
-        patterns = self._search(
-            encoded, weights, [float(threshold)], pairs, counters
-        )
-        patterns.sort(key=PatternWithSupport.sort_key)
+        with obs_trace.span(
+            "mine", miner="P-TPMiner", mode=self.mode, sequences=len(db)
+        ):
+            if self.pruning.point:
+                with obs_trace.span("prune", technique="point"):
+                    mining_db = self._point_prune(
+                        db, weights, threshold, counters
+                    )
+            with obs_trace.span("encode"):
+                encoded = EncodedDatabase(mining_db)
+            if self.pruning.pair:
+                with obs_trace.span("pair_tables"):
+                    pairs: Optional[PairTables] = PairTables(
+                        encoded, weights
+                    )
+            else:
+                pairs = None
+            with obs_trace.span("search"):
+                patterns = self._search(
+                    encoded, weights, [float(threshold)], pairs, counters
+                )
+            patterns.sort(key=PatternWithSupport.sort_key)
         if contracts.checking:
             counters.check_consistency()
             self._oracle_check(db, weights, float(threshold), patterns)
-        elapsed = time.perf_counter() - started
+        elapsed = obs_clock.now() - started
         return MiningResult(
             patterns=patterns,
             threshold=threshold,
             db_size=len(db),
             elapsed=elapsed,
             counters=counters,
+            metrics=_run_snapshot(
+                obs_metrics.active_registry(),
+                counters,
+                patterns=len(patterns),
+                elapsed=elapsed,
+                db_size=len(db),
+                threshold=threshold,
+            ),
             miner="P-TPMiner",
             params={
                 "min_sup": self.min_sup,
@@ -261,7 +321,7 @@ class PTPMiner:
             raise ValueError(f"k must be >= 1, got {k}")
         if min_size < 1:
             raise ValueError(f"min_size must be >= 1, got {min_size}")
-        started = time.perf_counter()
+        started = obs_clock.now()
         counters = PruneCounters()
         weights = [1.0] * len(db)
         threshold_box = [float(min_sup)]
@@ -284,16 +344,28 @@ class PTPMiner:
                         'mode="htp" or strip them first'
                     )
         mining_db = db
-        if self.pruning.point:
-            mining_db = self._point_prune(
-                db, weights, threshold_box[0], counters
-            )
-        encoded = EncodedDatabase(mining_db)
-        pairs = PairTables(encoded, weights) if self.pruning.pair else None
-        patterns = self._search(
-            encoded, weights, threshold_box, pairs, counters,
-            on_emit=on_emit,
-        )
+        with obs_trace.span(
+            "mine", miner="P-TPMiner(top-k)", mode=self.mode, k=k
+        ):
+            if self.pruning.point:
+                with obs_trace.span("prune", technique="point"):
+                    mining_db = self._point_prune(
+                        db, weights, threshold_box[0], counters
+                    )
+            with obs_trace.span("encode"):
+                encoded = EncodedDatabase(mining_db)
+            if self.pruning.pair:
+                with obs_trace.span("pair_tables"):
+                    pairs: Optional[PairTables] = PairTables(
+                        encoded, weights
+                    )
+            else:
+                pairs = None
+            with obs_trace.span("search"):
+                patterns = self._search(
+                    encoded, weights, threshold_box, pairs, counters,
+                    on_emit=on_emit,
+                )
         qualifying = [
             item
             for item in patterns
@@ -302,12 +374,21 @@ class PTPMiner:
         ]
         qualifying.sort(key=PatternWithSupport.sort_key)
         result = qualifying[:k]
+        elapsed = obs_clock.now() - started
         return MiningResult(
             patterns=result,
             threshold=threshold_box[0],
             db_size=len(db),
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
             counters=counters,
+            metrics=_run_snapshot(
+                obs_metrics.active_registry(),
+                counters,
+                patterns=len(result),
+                elapsed=elapsed,
+                db_size=len(db),
+                threshold=threshold_box[0],
+            ),
             miner="P-TPMiner(top-k)",
             params={
                 "k": k,
@@ -457,6 +538,20 @@ class PTPMiner:
         max_span = self.max_span
         max_weight = max(weights, default=0.0)
         results: list[PatternWithSupport] = []
+
+        # Observability: one lookup per search; every per-node recording
+        # site below is guarded by a single local check, so the disabled
+        # path costs one branch (same discipline as repro.contracts).
+        registry = obs_metrics.active_registry()
+        tracer = obs_trace.active_tracer()
+        progress = obs_progress.active_reporter()
+        obs_on = registry is not None or tracer is not None
+        obs_span = obs_trace.span
+        states_by_depth: dict[int, int] = {}
+        patterns_by_length: dict[int, int] = {}
+        candidates_by_ext = [0, 0]
+        pruned_by_ext = [0, 0]
+        dedupe_stats: Optional[dict[str, int]] = {} if obs_on else None
 
         # Pattern state, mutated along the DFS and restored on backtrack.
         pointsets: list[list[tuple[int, int]]] = []
@@ -616,6 +711,8 @@ class PTPMiner:
                         pair_cache[cand] = keep
                         if not keep:
                             counters.pruned_pair += 1
+                            if obs_on:
+                                pruned_by_ext[cand[0]] += 1
                     if not keep:
                         continue
                     weight_of[cand] = weight_of.get(cand, 0.0) + weight
@@ -712,7 +809,7 @@ class PTPMiner:
                             new_states.append(
                                 State(pos2, pending, used, wstart)
                             )
-                deduped = dedupe_states(new_states)
+                deduped = dedupe_states(new_states, dedupe_stats)
                 if contracts.checking:
                     for checked in deduped:
                         check_state(checked, seq)
@@ -727,6 +824,13 @@ class PTPMiner:
         ) -> None:
             nonlocal num_tokens, num_occurrences
             counters.nodes_expanded += 1
+            if progress is not None:
+                progress.tick(
+                    depth=num_tokens,
+                    patterns=counters.patterns_emitted,
+                    candidates=counters.candidates_considered,
+                    pruned=counters.pruned_pair,
+                )
             if postfix_prune:
                 # O(1) branch bound: at most len(proj) sequences of at
                 # most max_weight each can support any descendant.
@@ -735,7 +839,18 @@ class PTPMiner:
                     return
             if self.max_tokens is not None and num_tokens >= self.max_tokens:
                 return
-            candidates = gather_candidates(proj, last_token)
+            if obs_on:
+                with obs_span("extend", depth=num_tokens):
+                    candidates = gather_candidates(proj, last_token)
+                for obs_cand in candidates:
+                    candidates_by_ext[obs_cand[0]] += 1
+                if registry is not None:
+                    registry.histogram(
+                        "search.candidates_per_node",
+                        buckets=_CANDIDATE_BUCKETS,
+                    ).observe(len(candidates))
+            else:
+                candidates = gather_candidates(proj, last_token)
             proj_map = dict(proj)
             for cand in sorted(candidates):
                 weight, sids = candidates[cand]
@@ -751,7 +866,19 @@ class PTPMiner:
                 ):
                     continue
                 counters.candidates_frequent += 1
-                new_proj = project(proj_map, cand, sids)
+                if obs_on:
+                    with obs_span(
+                        "project",
+                        ext="I" if ext == _I_EXT else "S",
+                        depth=num_tokens + 1,
+                    ):
+                        new_proj = project(proj_map, cand, sids)
+                    depth = num_tokens + 1
+                    states_by_depth[depth] = states_by_depth.get(
+                        depth, 0
+                    ) + sum(len(states) for _sid, states in new_proj)
+                else:
+                    new_proj = project(proj_map, cand, sids)
                 # --- apply the extension to the pattern state ----------
                 if ext == _S_EXT:
                     pointsets.append([(sym, pocc)])
@@ -769,6 +896,10 @@ class PTPMiner:
                     del open_start_ps[(lab, pocc)]
                 if not open_start_ps:
                     counters.patterns_emitted += 1
+                    if obs_on:
+                        patterns_by_length[num_tokens] = (
+                            patterns_by_length.get(num_tokens, 0) + 1
+                        )
                     pattern = decode_pattern()
                     if contracts.checking:
                         _check_emitted_pattern(pattern, num_tokens)
@@ -810,6 +941,33 @@ class PTPMiner:
             if seq.pointsets and weights[seq.sid] > 0
         ]
         dfs(root, None)
+        if progress is not None:
+            progress.finish(
+                depth=0,
+                patterns=counters.patterns_emitted,
+                candidates=counters.candidates_considered,
+                pruned=counters.pruned_pair,
+            )
+        if registry is not None:
+            for depth, touched in sorted(states_by_depth.items()):
+                registry.counter(
+                    "search.states_by_depth", depth=depth
+                ).inc(touched)
+            for length, count in sorted(patterns_by_length.items()):
+                registry.counter(
+                    "search.patterns_by_length", tokens=length
+                ).inc(count)
+            for ext_kind, ext_name in ((_I_EXT, "I"), (_S_EXT, "S")):
+                registry.counter("search.candidates", ext=ext_name).inc(
+                    candidates_by_ext[ext_kind]
+                )
+                registry.counter("search.pruned_pair", ext=ext_name).inc(
+                    pruned_by_ext[ext_kind]
+                )
+            if dedupe_stats:
+                registry.counter("search.states_deduped").inc(
+                    dedupe_stats.get("states_deduped", 0)
+                )
         return results
 
 

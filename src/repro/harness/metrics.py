@@ -5,51 +5,81 @@ tracking (``tracemalloc``), returning a flat :class:`RunMetrics` record
 the table/figure renderers consume. Peak memory is the *additional* bytes
 allocated during the call — the quantity the paper's memory figure plots
 (the candidate sets / projected databases), not the interpreter baseline.
+Timing flows through the injectable :mod:`repro.obs.clock`, and
+``collect_obs=True`` installs a fresh metrics registry for the call so
+sweeps can attach per-run observability snapshots to their rows.
 """
 
 from __future__ import annotations
 
-import time
 import tracemalloc
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
+
+from repro.obs import clock as _obs_clock
+from repro.obs import metrics as _obs_metrics
 
 __all__ = ["RunMetrics", "measure"]
 
 
 @dataclass(frozen=True, slots=True)
 class RunMetrics:
-    """One measured run of a callable."""
+    """One measured run of a callable.
+
+    ``peak_mem_bytes`` is ``None`` when memory tracking was off — the
+    renderers show "—" rather than a misleading ``0``. ``obs`` holds the
+    run's metrics snapshot when ``collect_obs=True``, else ``None``.
+    """
 
     result: Any
     elapsed_s: float
-    peak_mem_bytes: int
+    peak_mem_bytes: Optional[int]
+    obs: Optional[dict[str, Any]] = None
 
     @property
-    def peak_mem_mb(self) -> float:
-        """Peak additional heap in MiB."""
+    def peak_mem_mb(self) -> Optional[float]:
+        """Peak additional heap in MiB (``None`` when untracked)."""
+        if self.peak_mem_bytes is None:
+            return None
         return self.peak_mem_bytes / (1024 * 1024)
 
 
-def measure(fn: Callable[[], Any], *, track_memory: bool = True) -> RunMetrics:
+def measure(
+    fn: Callable[[], Any],
+    *,
+    track_memory: bool = True,
+    collect_obs: bool = False,
+) -> RunMetrics:
     """Run ``fn`` once, measuring wall time and peak heap growth.
 
     ``track_memory=False`` skips tracemalloc (which itself slows
-    allocation-heavy code noticeably) for pure-runtime experiments.
+    allocation-heavy code noticeably) for pure-runtime experiments;
+    ``peak_mem_bytes`` is then ``None``, not ``0``. ``collect_obs=True``
+    scopes a fresh :class:`~repro.obs.metrics.MetricsRegistry` around the
+    call and returns its snapshot in :attr:`RunMetrics.obs`.
     """
+    if collect_obs:
+        with _obs_metrics.use_registry() as registry:
+            inner = measure(fn, track_memory=track_memory)
+        return RunMetrics(
+            inner.result,
+            inner.elapsed_s,
+            inner.peak_mem_bytes,
+            registry.snapshot(),
+        )
     if not track_memory:
-        started = time.perf_counter()
+        started = _obs_clock.now()
         result = fn()
-        return RunMetrics(result, time.perf_counter() - started, 0)
+        return RunMetrics(result, _obs_clock.now() - started, None)
     already_tracing = tracemalloc.is_tracing()
     if not already_tracing:
         tracemalloc.start()
     tracemalloc.reset_peak()
     base, _ = tracemalloc.get_traced_memory()
-    started = time.perf_counter()
+    started = _obs_clock.now()
     try:
         result = fn()
-        elapsed = time.perf_counter() - started
+        elapsed = _obs_clock.now() - started
         _, peak = tracemalloc.get_traced_memory()
     finally:
         if not already_tracing:

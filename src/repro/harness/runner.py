@@ -49,7 +49,18 @@ class SweepResult:
         return out
 
     def table(self, columns: Sequence[str] | None = None) -> str:
-        """Render the rows as an ASCII table."""
+        """Render the rows as an ASCII table.
+
+        Nested dict columns (the ``"obs"`` snapshots attached by
+        ``collect_obs``) are skipped unless requested explicitly.
+        """
+        if columns is None:
+            seen: dict[str, None] = {}
+            for row in self.rows:
+                for key, value in row.items():
+                    if not isinstance(value, dict):
+                        seen.setdefault(key)
+            columns = list(seen)
         return render_table(self.rows, columns, title=self.experiment)
 
     def chart(self, y_name: str, *, log_y: bool = True, **kwargs: Any) -> str:
@@ -79,14 +90,23 @@ class ExperimentRunner:
         miners: Iterable[MinerSpec],
         *,
         track_memory: bool = False,
+        collect_obs: bool = False,
         extra: dict | None = None,
     ) -> list[dict]:
-        """Run every miner at one sweep point, appending result rows."""
+        """Run every miner at one sweep point, appending result rows.
+
+        ``collect_obs=True`` scopes a metrics registry around each run,
+        flattens its per-phase timings into ``phase_<name>_s`` columns,
+        and attaches the full snapshot under the row's ``"obs"`` key
+        (excluded from tables, JSON-encoded in CSV exports).
+        """
         new_rows = []
         for spec in miners:
             miner = spec.build(x_value)
             metrics = measure(
-                lambda m=miner: m.mine(db), track_memory=track_memory
+                lambda m=miner: m.mine(db),
+                track_memory=track_memory,
+                collect_obs=collect_obs,
             )
             mining = metrics.result
             row = {
@@ -97,8 +117,17 @@ class ExperimentRunner:
                 "patterns": len(mining.patterns),
             }
             if track_memory:
-                row["peak_mem_mb"] = round(metrics.peak_mem_mb, 3)
+                peak = metrics.peak_mem_mb
+                row["peak_mem_mb"] = (
+                    None if peak is None else round(peak, 3)
+                )
             row.update(mining.counters.as_dict())
+            if metrics.obs is not None:
+                for key, seconds in metrics.obs["counters"].items():
+                    if key.startswith("phase_seconds[phase="):
+                        phase = key[len("phase_seconds[phase="):-1]
+                        row[f"phase_{phase}_s"] = round(seconds, 4)
+                row["obs"] = metrics.obs
             if extra:
                 row.update(extra)
             self.result.rows.append(row)
@@ -122,9 +151,11 @@ def write_rows_csv(result: SweepResult, path: str | Path) -> None:
     """Export a sweep's rows as CSV (for external plotting tools).
 
     Columns are the union of all row keys in first-seen order; missing
-    cells are left empty.
+    cells are left empty. Nested dict values (attached ``"obs"``
+    snapshots) are JSON-encoded into their cell.
     """
     import csv
+    import json
 
     columns: dict[str, None] = {}
     for row in result.rows:
@@ -134,4 +165,11 @@ def write_rows_csv(result: SweepResult, path: str | Path) -> None:
         writer = csv.DictWriter(handle, fieldnames=list(columns))
         writer.writeheader()
         for row in result.rows:
-            writer.writerow(row)
+            writer.writerow(
+                {
+                    key: json.dumps(value, sort_keys=True)
+                    if isinstance(value, dict)
+                    else value
+                    for key, value in row.items()
+                }
+            )

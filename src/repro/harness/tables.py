@@ -15,7 +15,13 @@ __all__ = ["render_table", "format_value"]
 
 
 def format_value(value: Any) -> str:
-    """Human formatting: 3 significant decimals for floats, str otherwise."""
+    """Human formatting: 3 significant decimals for floats, str otherwise.
+
+    ``None`` renders as an em-dash — the "not measured" marker (e.g.
+    peak memory when tracking was off), distinct from a measured ``0``.
+    """
+    if value is None:
+        return "—"
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):

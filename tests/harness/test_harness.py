@@ -26,7 +26,25 @@ class TestMeasure:
 
     def test_memory_tracking_optional(self):
         metrics = measure(lambda: 1, track_memory=False)
-        assert metrics.peak_mem_bytes == 0
+        # None, not 0: "not measured" must be distinguishable from a
+        # genuinely zero-growth run.
+        assert metrics.peak_mem_bytes is None
+        assert metrics.peak_mem_mb is None
+
+    def test_collect_obs_attaches_snapshot(self):
+        from repro.obs import metrics as obs_metrics
+
+        metrics = measure(
+            lambda: 7, track_memory=False, collect_obs=True
+        )
+        assert metrics.result == 7
+        assert metrics.obs is not None
+        assert set(metrics.obs) == {"counters", "gauges", "histograms"}
+        # The scoped registry was uninstalled afterwards.
+        assert obs_metrics.active_registry() is None
+
+    def test_obs_none_by_default(self):
+        assert measure(lambda: 1, track_memory=False).obs is None
 
     def test_exception_propagates_and_stops_tracing(self):
         import tracemalloc
@@ -66,6 +84,7 @@ class TestTables:
         assert format_value(123456) == "123,456"
         assert format_value(True) == "True"
         assert format_value("x") == "x"
+        assert format_value(None) == "—"
 
     def test_empty_rows(self):
         assert render_table([], columns=["a"])
@@ -133,6 +152,23 @@ class TestRunner:
         )
         assert "demo" in runner.result.table()
         assert "legend" in runner.result.chart("runtime_s")
+
+    def test_collect_obs_rows_carry_snapshot_and_phase_columns(self):
+        db = make_random_db(1, num_sequences=5)
+        runner = ExperimentRunner("demo")
+        rows = runner.run_point(
+            db, 0.5, [MinerSpec("ptp", lambda ms: PTPMiner(ms))],
+            collect_obs=True,
+        )
+        row = rows[0]
+        assert set(row["obs"]) == {"counters", "gauges", "histograms"}
+        assert any(key.startswith("phase_") for key in row)
+        # The snapshot's prune counters agree with the flat counter
+        # columns mirrored from PruneCounters.
+        obs_counters = row["obs"]["counters"]
+        assert obs_counters["search.pruned_pair"] == row["pruned_pair"]
+        # The nested snapshot column is excluded from rendered tables.
+        assert "obs" not in runner.result.table().splitlines()[2]
 
     def test_extra_columns(self):
         db = make_random_db(1, num_sequences=5)

@@ -1,0 +1,61 @@
+"""Tests for the injectable observability clock (``repro.obs.clock``)."""
+
+import time
+
+import pytest
+
+from repro.obs.clock import (
+    ManualClock,
+    clock_scope,
+    get_clock,
+    now,
+    set_clock,
+)
+
+
+class TestDefaultClock:
+    def test_default_is_perf_counter(self):
+        assert get_clock() is time.perf_counter
+
+    def test_now_is_monotonic(self):
+        assert now() <= now()
+
+
+class TestManualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(2.5)
+        assert clock() == 2.5
+
+    def test_custom_start(self):
+        assert ManualClock(start=10.0)() == 10.0
+
+    def test_rejects_backward_motion(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestInstallation:
+    def test_clock_scope_installs_and_restores(self):
+        previous = get_clock()
+        clock = ManualClock(start=5.0)
+        with clock_scope(clock):
+            assert now() == 5.0
+            assert get_clock() is clock
+        assert get_clock() is previous
+
+    def test_clock_scope_restores_on_exception(self):
+        previous = get_clock()
+        with pytest.raises(RuntimeError):
+            with clock_scope(ManualClock()):
+                raise RuntimeError("boom")
+        assert get_clock() is previous
+
+    def test_set_clock_none_restores_default(self):
+        set_clock(ManualClock())
+        try:
+            assert get_clock() is not time.perf_counter
+        finally:
+            set_clock(None)
+        assert get_clock() is time.perf_counter

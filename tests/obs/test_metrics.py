@@ -1,0 +1,132 @@
+"""Tests for counters/gauges/histograms (``repro.obs.metrics``)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.set(-2.0)
+        assert gauge.value == -2.0
+
+
+class TestHistogram:
+    def test_bucket_edges_use_le_convention(self):
+        hist = Histogram(buckets=(1.0, 5.0))
+        hist.observe(1.0)  # exactly on a bound -> that bucket
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(5.0001)  # past the last bound -> overflow
+        data = hist.as_dict()
+        assert data["buckets"] == {"le_1": 2, "le_5": 1, "inf": 1}
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(11.5001)
+        assert data["mean"] == pytest.approx(11.5001 / 4)
+
+    def test_empty_histogram_has_none_mean(self):
+        data = Histogram(buckets=(1.0,)).as_dict()
+        assert data["count"] == 0
+        assert data["mean"] is None
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", x=1) is registry.counter("a", x=1)
+        assert registry.counter("a") is not registry.counter("a", x=1)
+        assert len(registry) == 2
+
+    def test_same_name_different_kinds_do_not_collide(self):
+        registry = MetricsRegistry()
+        registry.counter("m").inc()
+        registry.gauge("m").set(7)
+        snap = registry.snapshot()
+        assert snap["counters"]["m"] == 1
+        assert snap["gauges"]["m"] == 7
+
+    def test_snapshot_keys_sort_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c", b=2, a=1).inc()
+        assert list(registry.snapshot()["counters"]) == ["c[a=1,b=2]"]
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.1)
+        text = json.dumps(registry.snapshot())
+        assert set(json.loads(text)) == {"counters", "gauges", "histograms"}
+
+    def test_snapshot_renders_integral_floats_as_int(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(3.0)
+        registry.counter("t").inc(0.25)
+        snap = registry.snapshot()["counters"]
+        assert snap["n"] == 3 and isinstance(snap["n"], int)
+        assert snap["t"] == 0.25
+
+    def test_absorb_prefixes_totals(self):
+        registry = MetricsRegistry()
+        registry.absorb({"x": 2, "y": 0}, prefix="search.")
+        snap = registry.snapshot()["counters"]
+        assert snap == {"search.x": 2, "search.y": 0}
+
+
+class TestInstallation:
+    def test_off_by_default(self):
+        assert active_registry() is None
+
+    def test_use_registry_scopes_a_fresh_registry(self):
+        with use_registry() as registry:
+            assert active_registry() is registry
+        assert active_registry() is None
+
+    def test_use_registry_accepts_existing_and_restores_previous(self):
+        outer = MetricsRegistry()
+        set_registry(outer)
+        try:
+            with use_registry(MetricsRegistry()) as inner:
+                assert active_registry() is inner
+            assert active_registry() is outer
+        finally:
+            set_registry(None)
+
+    def test_use_registry_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_registry():
+                raise RuntimeError("boom")
+        assert active_registry() is None

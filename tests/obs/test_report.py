@@ -1,0 +1,82 @@
+"""Tests for snapshot report rendering (``repro.obs.report``)."""
+
+import json
+
+from repro.obs.report import main, render_report
+
+
+def sample_snapshot() -> dict:
+    return {
+        "counters": {
+            "phase_seconds[phase=encode]": 0.2,
+            "phase_seconds[phase=search]": 1.8,
+            "search.states_by_depth[depth=1]": 30,
+            "search.states_by_depth[depth=2]": 12,
+            "search.patterns_by_length[tokens=2]": 5,
+            "search.candidates[ext=I]": 3,
+            "search.candidates[ext=S]": 9,
+            "search.pruned_pair": 44,
+        },
+        "gauges": {"run.patterns": 5},
+        "histograms": {
+            "search.candidates_per_node": {
+                "buckets": {"le_1": 2, "inf": 1},
+                "count": 3,
+                "sum": 7.0,
+                "mean": 7.0 / 3,
+            }
+        },
+    }
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        text = render_report(sample_snapshot())
+        assert "Phase breakdown" in text
+        assert "Projection states per DFS depth" in text
+        assert "Patterns emitted per length" in text
+        assert "Frequent candidates per extension kind" in text
+        assert "Totals" in text
+        assert "Histogram search.candidates_per_node" in text
+
+    def test_phase_breakdown_sorted_by_time_with_share(self):
+        text = render_report(sample_snapshot())
+        phase_section = text.split("\n\n")[0]
+        assert phase_section.index("search") < phase_section.index("encode")
+        assert "90.0%" in phase_section
+        assert "10.0%" in phase_section
+
+    def test_depth_rows_sorted_numerically(self):
+        snapshot = {
+            "counters": {
+                "search.states_by_depth[depth=10]": 1,
+                "search.states_by_depth[depth=2]": 2,
+            }
+        }
+        text = render_report(snapshot)
+        assert text.index(" 2 ") < text.index("10 ")
+
+    def test_totals_include_plain_counters_and_gauges(self):
+        text = render_report(sample_snapshot())
+        assert "search.pruned_pair" in text
+        assert "run.patterns" in text
+
+    def test_empty_snapshot(self):
+        assert "empty" in render_report({})
+        assert "empty" in render_report(
+            {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+
+
+class TestMain:
+    def test_renders_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(sample_snapshot()))
+        assert main([str(path)]) == 0
+        assert "Phase breakdown" in capsys.readouterr().out
+
+    def test_usage_errors(self, capsys):
+        assert main([]) == 2
+        assert main(["--help"]) == 2
+        assert main(["a", "b"]) == 2
+        assert "usage:" in capsys.readouterr().err

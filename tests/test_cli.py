@@ -107,6 +107,72 @@ class TestMine:
         assert "stripped" in err
 
 
+class TestObservabilityFlags:
+    def test_metrics_out_writes_valid_json(self, tiny_file, tmp_path, capsys):
+        import json
+
+        from repro.core.ptpminer import PTPMiner
+
+        path = tmp_path / "metrics.json"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--metrics-out", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        # The snapshot's prune counters equal the PruneCounters totals of
+        # an identical un-instrumented run.
+        from repro.io import read_database
+
+        reference = PTPMiner(0.3).mine(read_database(tiny_file))
+        for name, value in reference.counters.as_dict().items():
+            assert snapshot["counters"][f"search.{name}"] == value, name
+        assert "wrote metrics snapshot" in capsys.readouterr().err
+
+    def test_metrics_out_for_baseline_miner(self, tiny_file, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.4",
+                     "--miner", "hdfs", "--metrics-out", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["search.patterns_emitted"] > 0
+
+    def test_trace_writes_jsonl_covering_phases(self, tiny_file, tmp_path):
+        from repro.obs.trace import read_trace
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--trace", str(path)]) == 0
+        events = read_trace(path)
+        names = {e["name"] for e in events if e["ev"] == "B"}
+        assert {"mine", "prune", "encode", "pair_tables", "search",
+                "extend", "project"} <= names
+        begins = sum(1 for e in events if e["ev"] == "B")
+        ends = sum(1 for e in events if e["ev"] == "E")
+        assert begins == ends
+
+    def test_progress_prints_heartbeat_to_stderr(self, tiny_file, capsys):
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[done]" in err
+
+    def test_obs_flags_leave_sinks_uninstalled(self, tiny_file, tmp_path):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import progress as obs_progress
+        from repro.obs import trace as obs_trace
+
+        main(["mine", str(tiny_file), "--min-sup", "0.3",
+              "--metrics-out", str(tmp_path / "m.json"),
+              "--trace", str(tmp_path / "t.jsonl"), "--progress"])
+        assert obs_metrics.active_registry() is None
+        assert obs_trace.active_tracer() is None
+        assert obs_progress.active_reporter() is None
+
+    def test_log_level_flag_accepted(self, tiny_file, capsys):
+        assert main(["--log-level", "info", "mine", str(tiny_file),
+                     "--min-sup", "0.4"]) == 0
+
+
 class TestStats:
     def test_stats_table(self, tiny_file, capsys):
         assert main(["stats", str(tiny_file)]) == 0

@@ -195,7 +195,8 @@ def test_r005_flags_wall_clock_in_core():
 
         _T = time.time()
     """
-    assert codes(snippet, "src/repro/core/demo.py") == ["R005"]
+    # In repro.core the import itself additionally trips R006.
+    assert codes(snippet, "src/repro/core/demo.py") == ["R006", "R005"]
     assert codes(snippet, "src/repro/temporal/demo.py") == ["R005"]
 
 
@@ -210,8 +211,11 @@ def test_r005_flags_time_import_and_ignores_perf_counter():
 
         _T = time.perf_counter()
     """
-    assert codes(bad_import, "src/repro/core/demo.py") == ["R005"]
-    assert codes(ok, "src/repro/core/demo.py") == []
+    assert codes(bad_import, "src/repro/core/demo.py") == ["R005", "R006"]
+    # perf_counter passes R005, but the raw import still trips R006 in
+    # repro.core; repro.temporal allows it.
+    assert codes(ok, "src/repro/core/demo.py") == ["R006"]
+    assert codes(ok, "src/repro/temporal/demo.py") == []
 
 
 def test_r005_scoped_to_core_packages():
@@ -228,9 +232,61 @@ def test_r005_scoped_to_core_packages():
 def test_r005_suppressible():
     snippet = """
         __all__: list[str] = []
-        import time
+        import time  # repro-lint: ignore[R006]
 
         _T = time.time()  # repro-lint: ignore[R005]
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R006 — raw time imports in repro.core
+# ---------------------------------------------------------------------------
+
+def test_r006_flags_any_time_import_in_core():
+    plain = """
+        __all__: list[str] = []
+        import time
+    """
+    aliased = """
+        __all__: list[str] = []
+        import time as walltime
+    """
+    from_import = """
+        __all__: list[str] = []
+        from time import perf_counter
+    """
+    assert codes(plain, "src/repro/core/demo.py") == ["R006"]
+    assert codes(aliased, "src/repro/core/demo.py") == ["R006"]
+    assert codes(from_import, "src/repro/core/demo.py") == ["R006"]
+
+
+def test_r006_scoped_to_repro_core():
+    snippet = """
+        __all__: list[str] = []
+        import time
+    """
+    # Only repro.core must route through repro.obs.clock.
+    assert codes(snippet, "src/repro/temporal/demo.py") == []
+    assert codes(snippet, "src/repro/harness/demo.py") == []
+    assert codes(snippet, "src/repro/obs/demo.py") == []
+    assert codes(snippet, "tools/demo.py") == []
+    assert codes(snippet, "tests/test_demo.py") == []
+
+
+def test_r006_allows_similarly_named_modules():
+    snippet = """
+        __all__: list[str] = []
+        import timeit
+        from datetime import datetime
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+def test_r006_suppressible():
+    snippet = """
+        __all__: list[str] = []
+        import time  # repro-lint: ignore[R006]
     """
     assert codes(snippet, "src/repro/core/demo.py") == []
 

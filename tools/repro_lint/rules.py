@@ -1,4 +1,4 @@
-"""The five repro-specific lint rules (R001–R005).
+"""The six repro-specific lint rules (R001–R006).
 
 Each rule is a small object with a ``code``, a one-line ``summary``, and
 a ``check(ctx)`` generator yielding :class:`Violation` objects. Scoping
@@ -22,6 +22,7 @@ __all__ = [
     "PublicApiRule",
     "DunderAllRule",
     "WallClockRule",
+    "TimeImportRule",
 ]
 
 #: Module that owns canonical Endpoint construction (exempt from R001).
@@ -41,6 +42,10 @@ _MUTABLE_FACTORIES = {
 
 #: Core mining packages where wall-clock reads are banned (R005).
 _CORE_PREFIXES = ("repro.core", "repro.temporal")
+
+#: Package where *any* raw ``time`` import is banned (R006): all core
+#: timing must flow through the injectable ``repro.obs.clock``.
+_OBS_CLOCK_PREFIX = "repro.core"
 
 
 class Rule(Protocol):
@@ -379,6 +384,43 @@ class WallClockRule:
                     )
 
 
+class TimeImportRule:
+    """R006 — no raw ``time`` imports in ``repro.core`` at all.
+
+    The miners' boundary timing goes through the injectable
+    :mod:`repro.obs.clock` (so tests can drive a manual clock and traces
+    share one time base). A raw ``import time`` in ``repro.core``
+    bypasses that seam — use ``repro.obs.clock.now()`` instead.
+    Stricter than R005: R005 bans only wall-clock ``time.time()`` (and
+    also covers ``repro.temporal``); R006 bans the module import itself.
+    """
+
+    code = "R006"
+    summary = "raw time import in repro.core (use repro.obs.clock)"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag ``import time`` and ``from time import ...``."""
+        if ctx.module is None or not ctx.module.startswith(_OBS_CLOCK_PREFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "time":
+                        yield ctx.violation(
+                            node,
+                            self.code,
+                            "raw 'import time' in repro.core; route timing "
+                            "through the injectable repro.obs.clock",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    "raw 'from time import ...' in repro.core; route "
+                    "timing through the injectable repro.obs.clock",
+                )
+
+
 #: The registry the engine runs, in code order.
 ALL_RULES: tuple[Rule, ...] = (
     EndpointConstructionRule(),
@@ -386,4 +428,5 @@ ALL_RULES: tuple[Rule, ...] = (
     PublicApiRule(),
     DunderAllRule(),
     WallClockRule(),
+    TimeImportRule(),
 )
