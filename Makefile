@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help lint typecheck repro-lint test test-contracts check bench
+.PHONY: help lint typecheck repro-lint test test-contracts check bench \
+	perf perf-check profile
 
 help:
 	@echo "Targets:"
@@ -12,6 +13,9 @@ help:
 	@echo "  test-contracts tier-1 suite with runtime contracts forced on"
 	@echo "  check          repro-lint + lint + typecheck + test-contracts"
 	@echo "  bench          benchmark suite (pytest-benchmark)"
+	@echo "  perf           rewrite BENCH_PTPMINER.json from a fresh quick-matrix run"
+	@echo "  perf-check     compare a fresh quick-matrix run against BENCH_PTPMINER.json"
+	@echo "  profile        profile a sparse mine; writes profile.json + profile.folded"
 
 lint:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
@@ -40,3 +44,15 @@ check: repro-lint lint typecheck test-contracts
 
 bench:
 	$(PYTHON) -m pytest benches -q
+
+perf:
+	$(PYTHON) -m repro.perf update-baseline --matrix quick
+
+perf-check:
+	$(PYTHON) -m repro.perf compare --matrix quick
+
+profile:
+	$(PYTHON) -m repro.cli generate --dataset sparse --out /tmp/profile-db.txt
+	$(PYTHON) -m repro.cli mine /tmp/profile-db.txt --min-sup 0.1 --top 0 \
+		--profile >/dev/null
+	$(PYTHON) -m repro.obs.profile profile.json

@@ -8,6 +8,10 @@ Subcommands
     Mine a database file with a chosen miner and print/save patterns.
 ``stats``
     Print descriptive statistics of a database file.
+``perf``
+    Performance baselines: ``perf run|compare|update-baseline ...`` is
+    forwarded verbatim to :mod:`repro.perf.cli` (same as
+    ``python -m repro.perf``).
 
 Observability
 -------------
@@ -16,6 +20,11 @@ JSONL span trace, ``--metrics-out FILE`` writes the run's metrics
 snapshot as JSON (render it with ``python -m repro.obs.report FILE``),
 ``--progress`` prints throttled search heartbeats to stderr, and the
 global ``--log-level`` configures the standard-library logging root.
+``--profile`` runs the per-phase profiler
+(:mod:`repro.obs.profile`) and writes ``BASE.json`` (render with
+``python -m repro.obs.profile``) plus ``BASE.folded`` collapsed stacks
+for flamegraph tooling; ``--profile-out BASE`` picks the base path
+(default ``profile``). Profiling inflates the reported runtime.
 
 Examples
 --------
@@ -165,6 +174,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         return 2
     miner = _build_miner(args)
     registry = None
+    profiler = None
+    profile_base = args.profile_out or ("profile" if args.profile else None)
     with ExitStack() as stack:
         if args.metrics_out:
             registry = obs.MetricsRegistry()
@@ -172,6 +183,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if args.trace:
             writer = stack.enter_context(obs.JsonlTraceWriter.open(args.trace))
             stack.enter_context(obs.trace.use_tracer(writer))
+        if profile_base is not None:
+            # Installed after --trace so span events still reach the
+            # JSONL writer (the profiler forwards downstream).
+            from repro.obs.profile import profile_scope
+
+            profiler = stack.enter_context(profile_scope(memory=True))
         if args.progress:
             stack.enter_context(
                 obs.progress.use_reporter(
@@ -192,6 +209,20 @@ def _cmd_mine(args: argparse.Namespace) -> int:
               file=sys.stderr)
     if args.trace:
         print(f"wrote span trace to {args.trace}", file=sys.stderr)
+    if profiler is not None and profile_base is not None:
+        from repro.obs.profile import write_profile
+
+        report = profiler.report()
+        write_profile(report, f"{profile_base}.json")
+        with open(f"{profile_base}.folded", "w", encoding="utf-8") as handle:
+            for line in profiler.folded_lines():
+                handle.write(line + "\n")
+        print(
+            f"wrote profile to {profile_base}.json and "
+            f"{profile_base}.folded (render: "
+            f"python -m repro.obs.profile {profile_base}.json)",
+            file=sys.stderr,
+        )
     print(
         f"{result.miner}: {len(result.patterns)} patterns "
         f"(threshold {result.threshold:g}/{result.db_size}, "
@@ -215,6 +246,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         write_patterns(result.patterns, args.out)
         print(f"wrote {len(result.patterns)} patterns to {args.out}")
     return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf.cli import main as perf_main
+
+    return perf_main(args.perf_args)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -290,12 +327,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "(render with 'python -m repro.obs.report')")
     mine_p.add_argument("--progress", action="store_true",
                         help="print throttled search heartbeats to stderr")
+    mine_p.add_argument("--profile", action="store_true",
+                        help="profile per phase; writes profile.json + "
+                             "profile.folded (see --profile-out)")
+    mine_p.add_argument("--profile-out", metavar="BASE", default=None,
+                        help="base path for profile outputs "
+                             "(implies --profile)")
     mine_p.set_defaults(func=_cmd_mine)
 
     stats_p = sub.add_parser("stats", help="describe a database file")
     stats_p.add_argument("input", help="database file")
     stats_p.add_argument("--format", choices=sorted(_READERS))
     stats_p.set_defaults(func=_cmd_stats)
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="performance baselines (run/compare/update-baseline)",
+    )
+    perf_p.add_argument(
+        "perf_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to 'python -m repro.perf'",
+    )
+    perf_p.set_defaults(func=_cmd_perf)
     return parser
 
 

@@ -15,6 +15,12 @@ __all__ = ["ascii_chart"]
 
 _MARKS = "ox*#@%&+"
 
+#: Cell mark where two or more series land on the same grid cell.
+#: Earlier versions silently let the later series overwrite the
+#: earlier one, which made crossing curves look like one series
+#: disappeared exactly where the crossing happened.
+_COLLISION_MARK = "?"
+
 
 def ascii_chart(
     series: Mapping[str, Sequence[tuple[float, float]]],
@@ -29,7 +35,10 @@ def ascii_chart(
     """Render ``{name: [(x, y), ...]}`` as a multi-series ASCII chart.
 
     With ``log_y`` the vertical axis is log10-scaled (runtime figures in
-    this literature are usually log-scale).
+    this literature are usually log-scale). Cells where points from two
+    *different* series collide render as ``?`` (noted in the legend when
+    it happens) rather than letting the later series mask the earlier —
+    a common state near curve crossings at this resolution.
     """
     import math
 
@@ -53,12 +62,18 @@ def ascii_chart(
     y_span = (y_hi - y_lo) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
+    collisions = 0
     for idx, (name, pts) in enumerate(series.items()):
         mark = _MARKS[idx % len(_MARKS)]
         for x, y in pts:
             col = round((x - x_lo) / x_span * (width - 1))
             row = round((transform(y) - y_lo) / y_span * (height - 1))
-            grid[height - 1 - row][col] = mark
+            current = grid[height - 1 - row][col]
+            if current in (" ", mark):
+                grid[height - 1 - row][col] = mark
+            elif current != _COLLISION_MARK:
+                grid[height - 1 - row][col] = _COLLISION_MARK
+                collisions += 1
 
     lines = []
     if title:
@@ -73,5 +88,7 @@ def ascii_chart(
         f"{_MARKS[i % len(_MARKS)]}={name}"
         for i, name in enumerate(series)
     )
+    if collisions:
+        legend += f"  {_COLLISION_MARK}=overlap"
     lines.append(f"legend: {legend}")
     return "\n".join(lines)

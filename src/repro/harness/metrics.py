@@ -29,12 +29,15 @@ class RunMetrics:
     ``peak_mem_bytes`` is ``None`` when memory tracking was off — the
     renderers show "—" rather than a misleading ``0``. ``obs`` holds the
     run's metrics snapshot when ``collect_obs=True``, else ``None``.
+    ``profile`` holds the serialised per-phase profile
+    (``ProfileReport.as_dict()``) when ``collect_profile=True``.
     """
 
     result: Any
     elapsed_s: float
     peak_mem_bytes: Optional[int]
     obs: Optional[dict[str, Any]] = None
+    profile: Optional[dict[str, Any]] = None
 
     @property
     def peak_mem_mb(self) -> Optional[float]:
@@ -49,6 +52,7 @@ def measure(
     *,
     track_memory: bool = True,
     collect_obs: bool = False,
+    collect_profile: bool = False,
 ) -> RunMetrics:
     """Run ``fn`` once, measuring wall time and peak heap growth.
 
@@ -57,7 +61,45 @@ def measure(
     ``peak_mem_bytes`` is then ``None``, not ``0``. ``collect_obs=True``
     scopes a fresh :class:`~repro.obs.metrics.MetricsRegistry` around the
     call and returns its snapshot in :attr:`RunMetrics.obs`.
+    ``collect_profile=True`` additionally scopes a per-phase
+    :class:`~repro.obs.profile.PhaseProfiler` (memory attribution on iff
+    ``track_memory``) and returns its serialised report in
+    :attr:`RunMetrics.profile`.
+
+    Measurement hygiene — how the flags interact:
+
+    * ``collect_obs=True`` with ``track_memory=True`` installs the
+      registry *outside* the tracemalloc window, so the registry's own
+      allocations (counter/histogram dicts) **do** count toward
+      ``peak_mem_bytes`` while instrumented code runs. The effect is a
+      few KiB — negligible next to candidate sets, but not zero; a
+      memory *baseline* must therefore come from a plain
+      ``track_memory=True`` run with both collection flags off, which is
+      exactly what :mod:`repro.perf` enforces by timing and
+      memory-measuring in separate, un-instrumented runs.
+    * ``collect_profile=True`` inflates ``elapsed_s`` (cProfile hooks
+      every call; tracemalloc every allocation) — profile numbers
+      attribute cost, they are not benchmark timings.
+    * If tracemalloc is *already tracing* when ``measure`` is called
+      (nested ``measure``, or an enclosing
+      :func:`~repro.obs.profile.profile_scope`), the inner call reuses
+      the outer trace: it resets the peak, measures growth relative to
+      the current heap, and leaves tracemalloc running on exit.
     """
+    if collect_profile:
+        from repro.obs.profile import profile_scope
+
+        with profile_scope(memory=track_memory) as profiler:
+            inner = measure(
+                fn, track_memory=track_memory, collect_obs=collect_obs
+            )
+        return RunMetrics(
+            inner.result,
+            inner.elapsed_s,
+            inner.peak_mem_bytes,
+            inner.obs,
+            profiler.report().as_dict(),
+        )
     if collect_obs:
         with _obs_metrics.use_registry() as registry:
             inner = measure(fn, track_memory=track_memory)

@@ -91,6 +91,7 @@ class ExperimentRunner:
         *,
         track_memory: bool = False,
         collect_obs: bool = False,
+        collect_profile: bool = False,
         extra: dict | None = None,
     ) -> list[dict]:
         """Run every miner at one sweep point, appending result rows.
@@ -99,6 +100,10 @@ class ExperimentRunner:
         flattens its per-phase timings into ``phase_<name>_s`` columns,
         and attaches the full snapshot under the row's ``"obs"`` key
         (excluded from tables, JSON-encoded in CSV exports).
+        ``collect_profile=True`` attaches each run's per-phase profile
+        under ``"profile"`` plus its hottest self-time function as the
+        ``"profile_top"`` column — note profiling inflates ``runtime_s``
+        (see :func:`repro.harness.metrics.measure`).
         """
         new_rows = []
         for spec in miners:
@@ -107,6 +112,7 @@ class ExperimentRunner:
                 lambda m=miner: m.mine(db),
                 track_memory=track_memory,
                 collect_obs=collect_obs,
+                collect_profile=collect_profile,
             )
             mining = metrics.result
             row = {
@@ -128,6 +134,11 @@ class ExperimentRunner:
                         phase = key[len("phase_seconds[phase="):-1]
                         row[f"phase_{phase}_s"] = round(seconds, 4)
                 row["obs"] = metrics.obs
+            if metrics.profile is not None:
+                from repro.obs.profile import hottest_function
+
+                row["profile_top"] = hottest_function(metrics.profile)
+                row["profile"] = metrics.profile
             if extra:
                 row.update(extra)
             self.result.rows.append(row)

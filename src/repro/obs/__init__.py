@@ -21,6 +21,11 @@ Submodules
 :mod:`repro.obs.report`
     Renders a snapshot as per-phase / per-depth summary tables
     (imported on demand; run as ``python -m repro.obs.report``).
+:mod:`repro.obs.profile`
+    Per-phase profiling hooks: one ``cProfile`` profile per top-level
+    phase span, a collapsed-stack ("folded") exporter for flamegraph
+    tooling, and a tracemalloc-based per-phase allocation attributor
+    (imported on demand; render with ``python -m repro.obs.profile``).
 
 Enabling
 --------

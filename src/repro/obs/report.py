@@ -70,11 +70,16 @@ def _table(
 
 
 def render_report(snapshot: Mapping[str, Any]) -> str:
-    """Render one metrics snapshot as aligned plain-text tables."""
-    counters: Mapping[str, float] = snapshot.get("counters", {})
-    gauges: Mapping[str, float] = snapshot.get("gauges", {})
-    histograms: Mapping[str, Mapping[str, Any]] = snapshot.get(
-        "histograms", {}
+    """Render one metrics snapshot as aligned plain-text tables.
+
+    Tolerant of partial snapshots (a run that died mid-mine, or JSON
+    with explicit ``null`` sections): missing sections are skipped, never
+    a traceback.
+    """
+    counters: Mapping[str, float] = snapshot.get("counters") or {}
+    gauges: Mapping[str, float] = snapshot.get("gauges") or {}
+    histograms: Mapping[str, Mapping[str, Any]] = (
+        snapshot.get("histograms") or {}
     )
     sections: list[str] = []
 
@@ -145,11 +150,13 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
         )
 
     for key, hist in sorted(histograms.items()):
-        buckets: Mapping[str, int] = hist.get("buckets", {})
+        hist = hist or {}
+        buckets: Mapping[str, int] = hist.get("buckets") or {}
+        total_sum = float(hist.get("sum") or 0.0)
         sections.append(
             _table(
                 f"Histogram {key} "
-                f"(count={hist.get('count', 0)}, sum={hist.get('sum', 0):g})",
+                f"(count={hist.get('count') or 0}, sum={total_sum:g})",
                 ("bucket", "observations"),
                 list(buckets.items()),
             )

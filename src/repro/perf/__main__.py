@@ -1,0 +1,10 @@
+"""``python -m repro.perf`` — performance baseline tooling."""
+
+from __future__ import annotations
+
+from repro.perf.cli import main
+
+__all__: list[str] = []
+
+if __name__ == "__main__":
+    raise SystemExit(main())

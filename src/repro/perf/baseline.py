@@ -1,0 +1,182 @@
+"""Run a workload matrix and serialise the performance report.
+
+Per cell, two **separate** runs (see the measurement-hygiene note on
+:func:`repro.harness.metrics.measure`):
+
+1. a *timing* run with ``track_memory=False`` — tracemalloc hooks every
+   allocation and inflates allocation-heavy mining code noticeably, so
+   the wall time a baseline records must never come from a traced run;
+2. a *memory* run with ``track_memory=True`` for peak additional heap.
+
+Search counters are read from both runs and must agree exactly — the
+miners are deterministic, so a mismatch means nondeterminism crept into
+the stack and the report must not be trusted (the runner raises).
+
+Report shape (schema-versioned; see ``BENCH_PTPMINER.json``)::
+
+    {
+      "schema": 1,
+      "kind": "repro-bench",
+      "matrix": "quick",
+      "environment": {"python": "3.11.7", ...},
+      "cells": [
+        {"cell": "sparse120/sup0.1/ptpminer", "dataset": "sparse", ...,
+         "wall_s": 0.031, "peak_mib": 1.42, "patterns": 36,
+         "counters": {"nodes_expanded": 83, ...}},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from collections.abc import Callable, Mapping
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.harness.metrics import measure
+from repro.model.database import ESequenceDatabase
+from repro.perf.workloads import WorkloadCell, build_database, matrix_cells
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "SCHEMA_VERSION",
+    "environment_fingerprint",
+    "load_report",
+    "run_cell",
+    "run_matrix",
+    "stderr_progress",
+    "write_report",
+]
+
+#: Schema version stamped into every report this module writes.
+SCHEMA_VERSION = 1
+
+#: Canonical committed-baseline filename (lives at the repository root).
+BASELINE_FILENAME = "BENCH_PTPMINER.json"
+
+
+def environment_fingerprint() -> dict[str, str]:
+    """Identify the machine/runtime a report was measured on.
+
+    Compared (as a whole) against the baseline's fingerprint when
+    diffing: search counters transfer across environments, wall time
+    and peak memory do not — :mod:`repro.perf.compare` downgrades
+    timing/memory findings to warnings on a fingerprint mismatch.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+    }
+
+
+def run_cell(
+    cell: WorkloadCell, db: Optional[ESequenceDatabase] = None
+) -> dict[str, Any]:
+    """Measure one cell; returns its report row.
+
+    ``db`` lets callers share one generated database across the cells
+    that use it (the matrix runner does); when omitted the cell's
+    dataset is generated fresh.
+    """
+    if db is None:
+        db = build_database(cell)
+    # Timing run: no tracemalloc, no registry — the leanest path.
+    timed = measure(lambda: cell.mine(db), track_memory=False)
+    # Memory run: separate, so tracemalloc never pollutes wall_s above.
+    traced = measure(lambda: cell.mine(db), track_memory=True)
+    counters = dict(timed.result.counters.as_dict())
+    if counters != traced.result.counters.as_dict():
+        raise RuntimeError(
+            f"nondeterministic search counters in cell {cell.cell_id}: "
+            "timing and memory runs disagree"
+        )
+    peak = traced.peak_mem_mb
+    return {
+        "cell": cell.cell_id,
+        "dataset": cell.dataset,
+        "num_sequences": cell.num_sequences,
+        "min_sup": cell.min_sup,
+        "miner": cell.miner,
+        "wall_s": round(timed.elapsed_s, 6),
+        "peak_mib": None if peak is None else round(peak, 3),
+        "patterns": len(timed.result.patterns),
+        "counters": counters,
+    }
+
+
+def run_matrix(
+    matrix: str = "quick",
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[str, Any]:
+    """Execute every cell of ``matrix``; return the full report dict.
+
+    ``progress`` (e.g. ``lambda msg: print(msg, file=sys.stderr)``)
+    receives one line per completed cell.
+    """
+    cells = matrix_cells(matrix)
+    databases: dict[tuple[str, int], ESequenceDatabase] = {}
+    rows: list[dict[str, Any]] = []
+    for cell in cells:
+        key = (cell.dataset, cell.num_sequences)
+        if key not in databases:
+            databases[key] = build_database(cell)
+        row = run_cell(cell, databases[key])
+        rows.append(row)
+        if progress is not None:
+            progress(
+                f"{row['cell']}: {row['wall_s']:.3f}s, "
+                f"{row['peak_mib']} MiB, {row['patterns']} patterns"
+            )
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "matrix": matrix,
+        "environment": environment_fingerprint(),
+        "cells": rows,
+    }
+
+
+def write_report(
+    report: Mapping[str, Any], path: Union[str, Path]
+) -> None:
+    """Serialise a report as stable, diff-friendly indented JSON."""
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: Union[str, Path]) -> dict[str, Any]:
+    """Load and sanity-check a serialised report.
+
+    Raises ``ValueError`` on a missing/garbled file or a schema this
+    code does not understand, so ``compare`` failures are actionable.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ValueError(
+            f"no benchmark report at {path} "
+            f"(generate one with 'python -m repro.perf update-baseline')"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"unparseable benchmark report {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("kind") != "repro-bench":
+        raise ValueError(f"{path} is not a repro-bench report")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} has schema {data.get('schema')!r}; "
+            f"this tool understands schema {SCHEMA_VERSION}"
+        )
+    return data
+
+
+def stderr_progress(message: str) -> None:
+    """Per-cell progress sink printing to stderr (the CLI default)."""
+    print(message, file=sys.stderr, flush=True)

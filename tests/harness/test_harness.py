@@ -53,6 +53,71 @@ class TestMeasure:
             measure(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
         assert not tracemalloc.is_tracing()
 
+    def test_already_tracing_reuses_outer_trace(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            metrics = measure(lambda: [bytearray(64_000)])
+            # The inner call measured real growth against the live trace
+            # and left the caller's tracemalloc session running.
+            assert metrics.peak_mem_bytes > 50_000
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_nested_measure_keeps_outer_session(self):
+        import tracemalloc
+
+        def outer():
+            inner = measure(lambda: [bytearray(64_000)])
+            # Nested measure must not tear down the enclosing session.
+            assert tracemalloc.is_tracing()
+            return inner
+
+        outer_metrics = measure(outer)
+        assert not tracemalloc.is_tracing()
+        assert outer_metrics.result.peak_mem_bytes > 50_000
+        # The outer window contains the inner allocation too.
+        assert (
+            outer_metrics.peak_mem_bytes
+            >= outer_metrics.result.peak_mem_bytes
+        )
+
+    def test_collect_obs_with_track_memory_interaction(self):
+        # Documented interaction: both flags compose — the snapshot is
+        # captured AND peak memory is measured, with the registry's own
+        # small allocations inside the tracemalloc window.
+        db = make_random_db(1, num_sequences=8)
+        metrics = measure(
+            lambda: PTPMiner(0.4).mine(db),
+            track_memory=True,
+            collect_obs=True,
+        )
+        assert metrics.obs is not None
+        assert metrics.peak_mem_bytes is not None
+        assert metrics.peak_mem_bytes > 0
+        assert "search.nodes_expanded" in metrics.obs["counters"]
+
+    def test_collect_profile_attaches_report(self):
+        db = make_random_db(1, num_sequences=8)
+        metrics = measure(
+            lambda: PTPMiner(0.4).mine(db),
+            track_memory=True,
+            collect_profile=True,
+        )
+        assert metrics.profile is not None
+        assert metrics.profile["kind"] == "repro-profile"
+        names = {p["name"] for p in metrics.profile["phases"]}
+        assert "search" in names
+        # Memory attribution follows track_memory.
+        assert any(
+            p["memory_top"] for p in metrics.profile["phases"]
+        )
+
+    def test_profile_none_by_default(self):
+        assert measure(lambda: 1, track_memory=False).profile is None
+
     def test_runmetrics_frozen(self):
         metrics = RunMetrics(1, 0.5, 10)
         with pytest.raises(AttributeError):
@@ -113,6 +178,27 @@ class TestFigures:
         chart = ascii_chart({"m": [(1, 5)]}, log_y=False)
         assert "5" in chart
 
+    def test_series_collision_marked_not_silently_overwritten(self):
+        # Two series sharing a grid cell render '?' + a legend note
+        # instead of the later series masking the earlier one.
+        chart = ascii_chart(
+            {"m1": [(1, 5), (2, 10)], "m2": [(1, 5), (2, 20)]},
+            log_y=False,
+        )
+        assert "?" in chart
+        assert "?=overlap" in chart
+
+    def test_no_collision_no_overlap_legend(self):
+        chart = ascii_chart(
+            {"m1": [(1, 5)], "m2": [(2, 20)]}, log_y=False
+        )
+        assert "?" not in chart
+        assert "overlap" not in chart
+
+    def test_same_series_repeat_not_a_collision(self):
+        chart = ascii_chart({"m1": [(1, 5), (1, 5)]}, log_y=False)
+        assert "?" not in chart
+
 
 class TestRunner:
     def test_sweep_collects_rows(self):
@@ -169,6 +255,22 @@ class TestRunner:
         assert obs_counters["search.pruned_pair"] == row["pruned_pair"]
         # The nested snapshot column is excluded from rendered tables.
         assert "obs" not in runner.result.table().splitlines()[2]
+
+    def test_collect_profile_rows_carry_summary(self):
+        db = make_random_db(1, num_sequences=5)
+        runner = ExperimentRunner("demo")
+        rows = runner.run_point(
+            db, 0.5, [MinerSpec("ptp", lambda ms: PTPMiner(ms))],
+            collect_profile=True,
+        )
+        row = rows[0]
+        assert row["profile"]["kind"] == "repro-profile"
+        assert row["profile_top"]  # hottest self-time function label
+        # The nested profile dict stays out of rendered tables; the
+        # flat summary column stays in.
+        header = runner.result.table().splitlines()[2]
+        assert "profile_top" in header
+        assert " profile " not in header
 
     def test_extra_columns(self):
         db = make_random_db(1, num_sequences=5)

@@ -67,6 +67,34 @@ class TestRenderReport:
             {"counters": {}, "gauges": {}, "histograms": {}}
         )
 
+    def test_null_sections_never_raise(self):
+        # A partial run may serialise explicit nulls; skip, don't crash.
+        assert "empty" in render_report(
+            {"counters": None, "gauges": None, "histograms": None}
+        )
+
+    def test_degenerate_histogram_never_raises(self):
+        snapshot = {
+            "histograms": {
+                "h_empty": {},
+                "h_null_sum": {"buckets": {"inf": 1}, "count": 1,
+                               "sum": None},
+                "h_null": None,
+            }
+        }
+        text = render_report(snapshot)
+        assert "Histogram h_empty" in text
+        assert "Histogram h_null_sum" in text
+        assert "Histogram h_null" in text
+
+    def test_counters_only_partial_run(self):
+        # Only a couple of counters landed before the run died.
+        text = render_report(
+            {"counters": {"search.nodes_expanded": 3}}
+        )
+        assert "Totals" in text
+        assert "search.nodes_expanded" in text
+
 
 class TestMain:
     def test_renders_file(self, tmp_path, capsys):

@@ -172,6 +172,49 @@ class TestObservabilityFlags:
         assert main(["--log-level", "info", "mine", str(tiny_file),
                      "--min-sup", "0.4"]) == 0
 
+    def test_profile_writes_json_and_folded(self, tiny_file, tmp_path,
+                                            capsys):
+        import json
+
+        base = tmp_path / "prof"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--profile-out", str(base)]) == 0
+        err = capsys.readouterr().err
+        assert "wrote profile" in err
+        report = json.loads((tmp_path / "prof.json").read_text())
+        assert report["kind"] == "repro-profile"
+        assert {p["name"] for p in report["phases"]} >= {"search"}
+        folded = (tmp_path / "prof.folded").read_text().splitlines()
+        assert folded
+        # Every folded line is "stack weight" rooted at a phase name.
+        for line in folded:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+        # The hot path of the search phase is visible to flamegraphs.
+        assert any(
+            line.startswith("search;") and
+            ("project" in line or "gather_candidates" in line)
+            for line in folded
+        )
+
+    def test_profile_composes_with_trace(self, tiny_file, tmp_path,
+                                         capsys):
+        from repro.obs import trace as obs_trace
+
+        base = tmp_path / "prof"
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--trace", str(trace_path),
+                     "--profile-out", str(base)]) == 0
+        # Profiler forwards span events, so the trace still covers the
+        # phases it profiled.
+        events = obs_trace.read_trace(trace_path)
+        names = {e["name"] for e in events if e["ev"] == "B"}
+        assert "search" in names
+        assert (tmp_path / "prof.json").exists()
+        assert obs_trace.active_tracer() is None
+        capsys.readouterr()
+
 
 class TestStats:
     def test_stats_table(self, tiny_file, capsys):
@@ -208,6 +251,22 @@ class TestMineExtensions:
         assert "=>" in out
 
 
+class TestPerfSubcommand:
+    def test_perf_forwards_to_perf_cli(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["perf", "run", "--matrix", "tiny", "--quiet",
+                     "--out", str(out)]) == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["kind"] == "repro-bench"
+        capsys.readouterr()
+
+    def test_perf_usage_error_propagates(self, capsys):
+        assert main(["perf", "frobnicate"]) == 2
+        capsys.readouterr()
+
+
 class TestParser:
     def test_help_lists_subcommands(self, capsys):
         import pytest as _pytest
@@ -218,7 +277,7 @@ class TestParser:
         with _pytest.raises(SystemExit):
             parser.parse_args(["--help"])
         out = capsys.readouterr().out
-        for sub in ("generate", "mine", "stats"):
+        for sub in ("generate", "mine", "stats", "perf"):
             assert sub in out
 
     def test_missing_subcommand_errors(self):

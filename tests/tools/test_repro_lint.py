@@ -292,6 +292,59 @@ def test_r006_suppressible():
 
 
 # ---------------------------------------------------------------------------
+# R007 — profiling imports in mining code
+# ---------------------------------------------------------------------------
+
+def test_r007_flags_profiling_imports_in_mining_code():
+    plain = """
+        __all__: list[str] = []
+        import cProfile
+    """
+    aliased = """
+        __all__: list[str] = []
+        import tracemalloc as tm
+    """
+    from_import = """
+        __all__: list[str] = []
+        from pstats import Stats
+    """
+    assert codes(plain, "src/repro/core/demo.py") == ["R007"]
+    assert codes(aliased, "src/repro/baselines/demo.py") == ["R007"]
+    assert codes(from_import, "src/repro/core/demo.py") == ["R007"]
+
+
+def test_r007_scoped_to_mining_packages():
+    snippet = """
+        __all__: list[str] = []
+        import cProfile
+        import tracemalloc
+    """
+    # The profiling/measurement layers themselves legitimately import
+    # these; only the mined-over hot path is protected.
+    assert codes(snippet, "src/repro/obs/demo.py") == []
+    assert codes(snippet, "src/repro/harness/demo.py") == []
+    assert codes(snippet, "tools/demo.py") == []
+    assert codes(snippet, "tests/test_demo.py") == []
+
+
+def test_r007_allows_similarly_named_modules():
+    snippet = """
+        __all__: list[str] = []
+        import profiles
+        from profiling import hook
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+def test_r007_suppressible():
+    snippet = """
+        __all__: list[str] = []
+        import tracemalloc  # repro-lint: ignore[R007]
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+# ---------------------------------------------------------------------------
 # engine behaviour
 # ---------------------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""The six repro-specific lint rules (R001–R006).
+"""The repro-specific lint rules (R001–R007).
 
 Each rule is a small object with a ``code``, a one-line ``summary``, and
 a ``check(ctx)`` generator yielding :class:`Violation` objects. Scoping
@@ -23,6 +23,7 @@ __all__ = [
     "DunderAllRule",
     "WallClockRule",
     "TimeImportRule",
+    "ProfilingImportRule",
 ]
 
 #: Module that owns canonical Endpoint construction (exempt from R001).
@@ -46,6 +47,15 @@ _CORE_PREFIXES = ("repro.core", "repro.temporal")
 #: Package where *any* raw ``time`` import is banned (R006): all core
 #: timing must flow through the injectable ``repro.obs.clock``.
 _OBS_CLOCK_PREFIX = "repro.core"
+
+#: Packages where profiling imports are banned (R007): profiling is a
+#: harness concern, installed from outside via ``repro.obs.profile``.
+_NO_PROFILING_PREFIXES = ("repro.core", "repro.baselines")
+
+#: Top-level module names R007 bans inside the mining packages.
+_PROFILING_MODULES = frozenset(
+    {"cProfile", "profile", "pstats", "tracemalloc"}
+)
 
 
 class Rule(Protocol):
@@ -421,6 +431,54 @@ class TimeImportRule:
                 )
 
 
+class ProfilingImportRule:
+    """R007 — no raw profiling imports inside the mining packages.
+
+    ``cProfile``/``profile``/``pstats``/``tracemalloc`` inside
+    ``repro.core`` or ``repro.baselines`` would put measurement overhead
+    (and a second opinion about *how* to measure) on the hot path the
+    measurements are supposed to describe. Profiling is installed from
+    outside: :func:`repro.obs.profile.profile_scope` attaches per-phase
+    profiles through the span tracer, and
+    :func:`repro.harness.metrics.measure` owns tracemalloc. Like the
+    other rules, a deliberate exception is declared inline with
+    ``# repro-lint: ignore[R007]``.
+    """
+
+    code = "R007"
+    summary = "raw profiling import in mining code (use repro.obs.profile)"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag imports of profiling modules in ``repro.core``/baselines."""
+        if ctx.module is None or not ctx.module.startswith(
+            _NO_PROFILING_PREFIXES
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in _PROFILING_MODULES:
+                        yield ctx.violation(
+                            node,
+                            self.code,
+                            f"raw '{alias.name}' import in mining code; "
+                            "profiling is installed from outside via "
+                            "repro.obs.profile / repro.harness.metrics",
+                        )
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module is not None
+                and node.module.split(".")[0] in _PROFILING_MODULES
+            ):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    f"raw 'from {node.module} import ...' in mining code; "
+                    "profiling is installed from outside via "
+                    "repro.obs.profile / repro.harness.metrics",
+                )
+
+
 #: The registry the engine runs, in code order.
 ALL_RULES: tuple[Rule, ...] = (
     EndpointConstructionRule(),
@@ -429,4 +487,5 @@ ALL_RULES: tuple[Rule, ...] = (
     DunderAllRule(),
     WallClockRule(),
     TimeImportRule(),
+    ProfilingImportRule(),
 )
