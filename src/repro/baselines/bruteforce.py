@@ -14,6 +14,7 @@ import itertools
 from typing import Optional
 
 from repro.baselines._shared import publish_run, run_clock
+from repro.core.config import MinerConfig
 from repro.core.pruning import PruneCounters
 from repro.core.ptpminer import MiningResult
 from repro.model.database import ESequenceDatabase
@@ -50,22 +51,42 @@ class BruteForceMiner:
         max_size: Optional[int] = None,
         max_span: Optional[float] = None,
     ) -> None:
-        if mode not in ("tp", "htp"):
-            raise ValueError(f"mode must be 'tp' or 'htp', got {mode!r}")
-        self.min_sup = min_sup
-        self.mode = mode
-        self.max_size = max_size
-        self.max_span = max_span
+        # All argument validation lives in MinerConfig.__post_init__.
+        self.config = MinerConfig(
+            min_sup=min_sup, mode=mode, max_size=max_size, max_span=max_span
+        )
+
+    @classmethod
+    def from_config(cls, config: MinerConfig) -> "BruteForceMiner":
+        """Build from a config, rejecting options this miner lacks."""
+        config.require_only("BruteForce", "mode", "max_size", "max_span")
+        miner = cls.__new__(cls)
+        miner.config = config
+        return miner
+
+    @property
+    def min_sup(self) -> float:
+        """Support threshold (relative in ``(0, 1]`` or absolute)."""
+        return self.config.min_sup
+
+    @property
+    def mode(self) -> str:
+        """``"tp"`` or ``"htp"``."""
+        return self.config.mode
+
+    @property
+    def max_size(self) -> Optional[int]:
+        """Optional cap on pattern size in event occurrences."""
+        return self.config.max_size
+
+    @property
+    def max_span(self) -> Optional[float]:
+        """Optional embedding time-window constraint."""
+        return self.config.max_span
 
     def mine(self, db: ESequenceDatabase) -> MiningResult:
         """Enumerate, canonicalize, count, filter."""
-        if self.mode == "tp":
-            for seq in db:
-                if seq.has_point_events:
-                    raise ValueError(
-                        "database contains point events; mine with "
-                        'mode="htp" or strip them first'
-                    )
+        db.require_mode(self.mode)
         started = run_clock()
         threshold = db.absolute_support(self.min_sup)
         supporters: dict[TemporalPattern, set[int]] = {}

@@ -25,6 +25,7 @@ from repro.baselines._shared import (
     publish_run,
     run_clock,
 )
+from repro.core.config import MinerConfig
 from repro.core.pruning import PruneCounters
 from repro.core.ptpminer import MiningResult
 from repro.model.database import ESequenceDatabase
@@ -48,21 +49,37 @@ class HDFSMiner:
         mode: str = "tp",
         max_tokens: Optional[int] = None,
     ) -> None:
-        if mode not in ("tp", "htp"):
-            raise ValueError(f"mode must be 'tp' or 'htp', got {mode!r}")
-        self.min_sup = min_sup
-        self.mode = mode
-        self.max_tokens = max_tokens
+        # All argument validation lives in MinerConfig.__post_init__.
+        self.config = MinerConfig(
+            min_sup=min_sup, mode=mode, max_tokens=max_tokens
+        )
+
+    @classmethod
+    def from_config(cls, config: MinerConfig) -> "HDFSMiner":
+        """Build from a config, rejecting options this miner lacks."""
+        config.require_only("H-DFS", "mode", "max_tokens")
+        miner = cls.__new__(cls)
+        miner.config = config
+        return miner
+
+    @property
+    def min_sup(self) -> float:
+        """Support threshold (relative in ``(0, 1]`` or absolute)."""
+        return self.config.min_sup
+
+    @property
+    def mode(self) -> str:
+        """``"tp"`` or ``"htp"``."""
+        return self.config.mode
+
+    @property
+    def max_tokens(self) -> Optional[int]:
+        """Optional cap on pattern length in endpoint tokens."""
+        return self.config.max_tokens
 
     def mine(self, db: ESequenceDatabase) -> MiningResult:
         """Mine the full frequent pattern set of ``db``."""
-        if self.mode == "tp":
-            for seq in db:
-                if seq.has_point_events:
-                    raise ValueError(
-                        "database contains point events; mine with "
-                        'mode="htp" or strip them first'
-                    )
+        db.require_mode(self.mode)
         started = run_clock()
         threshold = db.absolute_support(self.min_sup)
         counters = PruneCounters()

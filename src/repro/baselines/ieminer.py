@@ -32,6 +32,7 @@ from collections.abc import Iterable, Iterator, Sequence
 from typing import Optional
 
 from repro.baselines._shared import publish_run, run_clock
+from repro.core.config import MinerConfig
 from repro.core.pruning import PruneCounters
 from repro.core.ptpminer import MiningResult
 from repro.model.database import ESequenceDatabase
@@ -56,17 +57,34 @@ class IEMiner:
     def __init__(
         self, min_sup: float = 0.1, *, max_size: Optional[int] = None
     ) -> None:
-        self.min_sup = min_sup
-        self.max_size = max_size
+        # All argument validation lives in MinerConfig.__post_init__.
+        self.config = MinerConfig(min_sup=min_sup, max_size=max_size)
+
+    @classmethod
+    def from_config(cls, config: MinerConfig) -> "IEMiner":
+        """Build from a config, rejecting options this miner lacks.
+
+        IEMiner is TP-only (relation matrices cannot express point
+        events), so ``mode="htp"`` is rejected here too.
+        """
+        config.require_only("IEMiner", "max_size")
+        miner = cls.__new__(cls)
+        miner.config = config
+        return miner
+
+    @property
+    def min_sup(self) -> float:
+        """Support threshold (relative in ``(0, 1]`` or absolute)."""
+        return self.config.min_sup
+
+    @property
+    def max_size(self) -> Optional[int]:
+        """Optional cap on pattern size in intervals (levels mined)."""
+        return self.config.max_size
 
     def mine(self, db: ESequenceDatabase) -> MiningResult:
         """Mine the full frequent (interval-only) pattern set of ``db``."""
-        for seq in db:
-            if seq.has_point_events:
-                raise ValueError(
-                    "IEMiner's relation matrices cannot express point "
-                    "events; strip them or use P-TPMiner in htp mode"
-                )
+        db.require_mode("tp")
         started = run_clock()
         threshold = db.absolute_support(self.min_sup)
         counters = PruneCounters()

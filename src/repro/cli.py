@@ -46,15 +46,9 @@ import sys
 from collections.abc import Sequence
 from contextlib import ExitStack
 
-from repro import obs
-
-from repro.baselines import (
-    BruteForceMiner,
-    HDFSMiner,
-    IEMiner,
-    TPrefixSpanMiner,
-)
+from repro import miners, obs
 from repro.core.closed import filter_closed, filter_maximal
+from repro.core.config import MinerConfig
 from repro.core.pruning import PruningConfig
 from repro.core.ptpminer import PTPMiner
 from repro.core.rules import generate_rules
@@ -112,27 +106,28 @@ def _infer_format(path: str, explicit: str | None) -> str:
     return "text"
 
 
-def _build_miner(
-    args: argparse.Namespace,
-) -> "PTPMiner | TPrefixSpanMiner | HDFSMiner | IEMiner | BruteForceMiner":
-    pruning = PruningConfig(
-        point=not args.no_point_prune,
-        pair=not args.no_pair_prune,
-        postfix=not args.no_postfix_prune,
+def _build_miner(args: argparse.Namespace) -> miners.Miner:
+    """Translate CLI flags into a config and build through the registry.
+
+    The full option surface goes into one :class:`MinerConfig`; miners
+    that do not support a *non-default* option reject it eagerly with
+    an error naming the miner and the flag (instead of the old
+    behaviour of silently ignoring it).
+    """
+    config = MinerConfig(
+        min_sup=args.min_sup,
+        mode=args.mode,
+        pruning=PruningConfig(
+            point=not args.no_point_prune,
+            pair=not args.no_pair_prune,
+            postfix=not args.no_postfix_prune,
+        ),
+        max_size=args.max_size,
+        max_span=args.max_span,
     )
-    if args.miner == "ptpminer":
-        return PTPMiner(args.min_sup, mode=args.mode, pruning=pruning,
-                        max_size=args.max_size, max_span=args.max_span)
-    if args.miner == "tprefixspan":
-        return TPrefixSpanMiner(args.min_sup, mode=args.mode)
-    if args.miner == "hdfs":
-        return HDFSMiner(args.min_sup, mode=args.mode)
-    if args.miner == "ieminer":
-        return IEMiner(args.min_sup, max_size=args.max_size)
-    if args.miner == "bruteforce":
-        return BruteForceMiner(args.min_sup, mode=args.mode,
-                               max_size=args.max_size)
-    raise ValueError(f"unknown miner {args.miner!r}")
+    return miners.build(
+        args.miner, config, workers=args.workers, executor=args.executor
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -172,7 +167,15 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if args.top_k and args.miner != "ptpminer":
         print("--top-k requires the ptpminer miner", file=sys.stderr)
         return 2
-    miner = _build_miner(args)
+    if args.top_k and (args.workers != 1 or args.executor != "auto"):
+        print("--top-k does not support --workers/--executor",
+              file=sys.stderr)
+        return 2
+    try:
+        miner = _build_miner(args)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     registry = None
     profiler = None
     profile_base = args.profile_out or ("profile" if args.profile else None)
@@ -196,6 +199,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 )
             )
         if args.top_k:
+            assert isinstance(miner, PTPMiner)  # guarded above
             result = miner.mine_top_k(db, args.top_k)
         else:
             result = miner.mine(db)
@@ -295,9 +299,18 @@ def build_parser() -> argparse.ArgumentParser:
     mine_p.add_argument("--mode", choices=("tp", "htp"), default="tp")
     mine_p.add_argument(
         "--miner",
-        choices=("ptpminer", "tprefixspan", "hdfs", "ieminer", "bruteforce"),
+        choices=miners.available(),
         default="ptpminer",
     )
+    mine_p.add_argument("--workers", type=int, default=1,
+                        help="shard the search over N workers "
+                             "(ptpminer only; identical result)")
+    mine_p.add_argument("--executor",
+                        choices=("auto", "serial", "process"),
+                        default="auto",
+                        help="how shards run with --workers: in-process "
+                             "('serial', the debugging surface) or on a "
+                             "process pool ('auto' picks by worker count)")
     mine_p.add_argument("--max-size", type=int, default=None,
                         help="cap pattern size in events")
     mine_p.add_argument("--max-span", type=float, default=None,

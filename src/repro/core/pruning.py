@@ -106,6 +106,25 @@ class PruneCounters:
         out.update(self.extras)
         return out
 
+    def merge(self, other: "PruneCounters") -> None:
+        """Add another search's accounting into this one.
+
+        The shard-merge seam: :mod:`repro.engine` sums the parent's
+        root accounting with every worker's subtree accounting, which by
+        construction reproduces the serial run's counters exactly.
+        """
+        self.nodes_expanded += other.nodes_expanded
+        self.candidates_considered += other.candidates_considered
+        self.candidates_frequent += other.candidates_frequent
+        self.pruned_point_labels += other.pruned_point_labels
+        self.pruned_pair += other.pruned_pair
+        self.pruned_postfix_branches += other.pruned_postfix_branches
+        self.pruned_dead_states += other.pruned_dead_states
+        self.states_created += other.states_created
+        self.patterns_emitted += other.patterns_emitted
+        for key, value in other.extras.items():
+            self.extras[key] = self.extras.get(key, 0) + value
+
     def publish(
         self, registry: MetricsRegistry, *, prefix: str = "search."
     ) -> None:

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro import contracts
+from repro.core.config import MinerConfig
 from repro.core.counting import PairTables
 from repro.core.projection import EMPTY_STATE, State, check_state, dedupe_states
 from repro.core.pruning import PruneCounters, PruningConfig
@@ -55,10 +56,12 @@ from repro.temporal.endpoint import (
 
 __all__ = ["PTPMiner", "MiningResult", "mine"]
 
-_MODES = ("tp", "htp")
-
 # A candidate extension: (ext_kind, sym, pocc); ext_kind 0 = I, 1 = S.
 _Candidate = tuple[int, int, int]
+
+#: One gathered root candidate with its support weight and supporter sids
+#: — the unit :mod:`repro.engine` shards the level-1 fan-out by.
+RootCandidates = dict[_Candidate, tuple[float, list[int]]]
 _I_EXT, _S_EXT = 0, 1
 _EPS = 1e-9
 
@@ -191,20 +194,56 @@ class PTPMiner:
         max_size: Optional[int] = None,
         max_span: Optional[float] = None,
     ) -> None:
-        if mode not in _MODES:
-            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
-        if max_tokens is not None and max_tokens < 1:
-            raise ValueError("max_tokens must be >= 1")
-        if max_size is not None and max_size < 1:
-            raise ValueError("max_size must be >= 1")
-        if max_span is not None and max_span < 0:
-            raise ValueError("max_span must be >= 0")
-        self.min_sup = min_sup
-        self.mode = mode
-        self.pruning = pruning
-        self.max_tokens = max_tokens
-        self.max_size = max_size
-        self.max_span = max_span
+        # All argument validation lives in MinerConfig.__post_init__.
+        self.config = MinerConfig(
+            min_sup=min_sup,
+            mode=mode,
+            pruning=pruning,
+            max_tokens=max_tokens,
+            max_size=max_size,
+            max_span=max_span,
+        )
+
+    @classmethod
+    def from_config(cls, config: MinerConfig) -> "PTPMiner":
+        """Build a miner from a :class:`~repro.core.config.MinerConfig`.
+
+        P-TPMiner supports the full configuration surface, so this never
+        rejects a valid config (the baselines' ``from_config`` do).
+        """
+        miner = cls.__new__(cls)
+        miner.config = config
+        return miner
+
+    @property
+    def min_sup(self) -> float:
+        """Support threshold (relative in ``(0, 1]`` or absolute)."""
+        return self.config.min_sup
+
+    @property
+    def mode(self) -> str:
+        """``"tp"`` or ``"htp"``."""
+        return self.config.mode
+
+    @property
+    def pruning(self) -> PruningConfig:
+        """Active pruning techniques."""
+        return self.config.pruning
+
+    @property
+    def max_tokens(self) -> Optional[int]:
+        """Optional cap on pattern length in endpoint tokens."""
+        return self.config.max_tokens
+
+    @property
+    def max_size(self) -> Optional[int]:
+        """Optional cap on pattern size in event occurrences."""
+        return self.config.max_size
+
+    @property
+    def max_span(self) -> Optional[float]:
+        """Optional embedding time-window constraint."""
+        return self.config.max_span
 
     # ------------------------------------------------------------------
     # public entry points
@@ -226,42 +265,15 @@ class PTPMiner:
         probabilities it is expected support (see
         :mod:`repro.core.probabilistic`).
         """
-        if len(weights) != len(db):
-            raise ValueError(
-                f"got {len(weights)} weights for {len(db)} sequences"
-            )
-        if any(w < 0 for w in weights):
-            raise ValueError("sequence weights must be non-negative")
-        if threshold <= 0:
-            raise ValueError(f"threshold must be positive, got {threshold}")
-        if self.mode == "tp":
-            for seq in db:
-                if seq.has_point_events:
-                    raise ValueError(
-                        "database contains point events; mine with "
-                        'mode="htp" or strip them with '
-                        "db.without_point_events()"
-                    )
+        self._validate_weighted(db, weights, threshold)
         started = obs_clock.now()
         counters = PruneCounters()
-        mining_db = db
         with obs_trace.span(
             "mine", miner="P-TPMiner", mode=self.mode, sequences=len(db)
         ):
-            if self.pruning.point:
-                with obs_trace.span("prune", technique="point"):
-                    mining_db = self._point_prune(
-                        db, weights, threshold, counters
-                    )
-            with obs_trace.span("encode"):
-                encoded = EncodedDatabase(mining_db)
-            if self.pruning.pair:
-                with obs_trace.span("pair_tables"):
-                    pairs: Optional[PairTables] = PairTables(
-                        encoded, weights
-                    )
-            else:
-                pairs = None
+            _, encoded, pairs = self._prepare(
+                db, weights, threshold, counters
+            )
             with obs_trace.span("search"):
                 patterns = self._search(
                     encoded, weights, [float(threshold)], pairs, counters
@@ -286,15 +298,128 @@ class PTPMiner:
                 threshold=threshold,
             ),
             miner="P-TPMiner",
-            params={
-                "min_sup": self.min_sup,
-                "mode": self.mode,
-                "pruning": self.pruning.describe(),
-                "max_tokens": self.max_tokens,
-                "max_size": self.max_size,
-                "max_span": self.max_span,
-            },
+            params=self.config.describe(),
         )
+
+    @staticmethod
+    def _validate_weighted(
+        db: ESequenceDatabase,
+        weights: Sequence[float],
+        threshold: float,
+    ) -> None:
+        """Shared input validation for weighted mining entry points."""
+        if len(weights) != len(db):
+            raise ValueError(
+                f"got {len(weights)} weights for {len(db)} sequences"
+            )
+        if any(w < 0 for w in weights):
+            raise ValueError("sequence weights must be non-negative")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+
+    def _prepare(
+        self,
+        db: ESequenceDatabase,
+        weights: Sequence[float],
+        threshold: float,
+        counters: PruneCounters,
+        *,
+        point_prune: bool = True,
+    ) -> tuple[ESequenceDatabase, EncodedDatabase, Optional[PairTables]]:
+        """Shared pre-search pipeline: point prune, encode, pair tables.
+
+        Returns the (possibly point-pruned) mining database alongside
+        its encoding so :meth:`plan_root` can hand the pruned database
+        to shard workers, which re-encode it locally with
+        ``point_prune=False`` (the parent already pruned, and already
+        accounted the pruning in its counters).
+        """
+        db.require_mode(self.mode)
+        mining_db = db
+        if point_prune and self.pruning.point:
+            with obs_trace.span("prune", technique="point"):
+                mining_db = self._point_prune(
+                    db, weights, threshold, counters
+                )
+        with obs_trace.span("encode"):
+            encoded = EncodedDatabase(mining_db)
+        if self.pruning.pair:
+            with obs_trace.span("pair_tables"):
+                pairs: Optional[PairTables] = PairTables(encoded, weights)
+        else:
+            pairs = None
+        return mining_db, encoded, pairs
+
+    # ------------------------------------------------------------------
+    # sharded execution hooks (used by repro.engine)
+    # ------------------------------------------------------------------
+    def plan_root(
+        self,
+        db: ESequenceDatabase,
+        weights: Sequence[float],
+        threshold: float,
+    ) -> tuple[ESequenceDatabase, PruneCounters, RootCandidates]:
+        """Run the root of the search once: the parent half of sharding.
+
+        Validates inputs, applies point pruning, and gathers the level-1
+        (root) candidate extensions with full root-node accounting. The
+        returned pruned database and candidate map are what
+        :mod:`repro.engine` partitions into :class:`ShardTask`s; the
+        returned counters are the parent's share of the final merged
+        :class:`~repro.core.pruning.PruneCounters`.
+
+        The candidate map may be empty — when the root postfix branch
+        bound already proves no pattern can be frequent — in which case
+        there is nothing to shard.
+        """
+        self._validate_weighted(db, weights, threshold)
+        counters = PruneCounters()
+        mining_db, encoded, pairs = self._prepare(
+            db, weights, threshold, counters
+        )
+        plan_out: list[RootCandidates] = []
+        with obs_trace.span("plan_root"):
+            self._search(
+                encoded,
+                weights,
+                [float(threshold)],
+                pairs,
+                counters,
+                root_plan_out=plan_out,
+            )
+        return mining_db, counters, plan_out[0] if plan_out else {}
+
+    def search_shard(
+        self,
+        mining_db: ESequenceDatabase,
+        weights: Sequence[float],
+        threshold: float,
+        candidates: RootCandidates,
+    ) -> tuple[list[PatternWithSupport], PruneCounters]:
+        """Expand a shard of root candidates: the worker half of sharding.
+
+        ``mining_db`` must be the (already point-pruned) database
+        returned by :meth:`plan_root` and ``candidates`` a subset of its
+        root candidate map. Re-encodes locally (cheap, and avoids
+        shipping encoded structures across process boundaries), skips
+        point pruning and root-node accounting — both already accounted
+        by the parent — and returns this shard's unsorted patterns plus
+        its share of the counters.
+        """
+        counters = PruneCounters()
+        _, encoded, pairs = self._prepare(
+            mining_db, weights, threshold, counters, point_prune=False
+        )
+        with obs_trace.span("search", shard_candidates=len(candidates)):
+            patterns = self._search(
+                encoded,
+                weights,
+                [float(threshold)],
+                pairs,
+                counters,
+                root_candidates=candidates,
+            )
+        return patterns, counters
 
     def mine_top_k(
         self,
@@ -336,31 +461,13 @@ class PTPMiner:
             if len(heap) == k:
                 threshold_box[0] = max(threshold_box[0], heap[0])
 
-        if self.mode == "tp":
-            for seq in db:
-                if seq.has_point_events:
-                    raise ValueError(
-                        "database contains point events; mine with "
-                        'mode="htp" or strip them first'
-                    )
-        mining_db = db
+        db.require_mode(self.mode)
         with obs_trace.span(
             "mine", miner="P-TPMiner(top-k)", mode=self.mode, k=k
         ):
-            if self.pruning.point:
-                with obs_trace.span("prune", technique="point"):
-                    mining_db = self._point_prune(
-                        db, weights, threshold_box[0], counters
-                    )
-            with obs_trace.span("encode"):
-                encoded = EncodedDatabase(mining_db)
-            if self.pruning.pair:
-                with obs_trace.span("pair_tables"):
-                    pairs: Optional[PairTables] = PairTables(
-                        encoded, weights
-                    )
-            else:
-                pairs = None
+            _, encoded, pairs = self._prepare(
+                db, weights, threshold_box[0], counters
+            )
             with obs_trace.span("search"):
                 patterns = self._search(
                     encoded, weights, threshold_box, pairs, counters,
@@ -531,7 +638,25 @@ class PTPMiner:
         pairs: Optional[PairTables],
         counters: PruneCounters,
         on_emit: Optional[Callable[[TemporalPattern, float], None]] = None,
+        *,
+        root_candidates: Optional[RootCandidates] = None,
+        root_plan_out: Optional[list[RootCandidates]] = None,
     ) -> list[PatternWithSupport]:
+        """Run the depth-first search; see the class docstring.
+
+        The two keyword hooks exist for :mod:`repro.engine`'s level-1
+        sharding and leave the serial path untouched:
+
+        * ``root_plan_out`` — gather the root candidates (with full
+          root-node accounting: node expansion, postfix branch bound,
+          candidate counters), append them to the list, and return
+          without descending. The parent process runs this once.
+        * ``root_candidates`` — skip root gathering *and* root-node
+          accounting, and expand exactly the given candidates. A worker
+          runs this on its shard of the parent's plan, so summing the
+          parent's and all shards' counters reproduces the serial run's
+          counters bit for bit.
+        """
         sequences = encoded.sequences
         htp = self.mode == "htp"
         postfix_prune = self.pruning.postfix
@@ -823,34 +948,46 @@ class PTPMiner:
             last_token: Optional[tuple[int, int]],
         ) -> None:
             nonlocal num_tokens, num_occurrences
-            counters.nodes_expanded += 1
-            if progress is not None:
-                progress.tick(
-                    depth=num_tokens,
-                    patterns=counters.patterns_emitted,
-                    candidates=counters.candidates_considered,
-                    pruned=counters.pruned_pair,
-                )
-            if postfix_prune:
-                # O(1) branch bound: at most len(proj) sequences of at
-                # most max_weight each can support any descendant.
-                if len(proj) * max_weight + _EPS < threshold_box[0]:
-                    counters.pruned_postfix_branches += 1
-                    return
-            if self.max_tokens is not None and num_tokens >= self.max_tokens:
-                return
-            if obs_on:
-                with obs_span("extend", depth=num_tokens):
-                    candidates = gather_candidates(proj, last_token)
-                for obs_cand in candidates:
-                    candidates_by_ext[obs_cand[0]] += 1
-                if registry is not None:
-                    registry.histogram(
-                        "search.candidates_per_node",
-                        buckets=_CANDIDATE_BUCKETS,
-                    ).observe(len(candidates))
+            # Sharded roots skip gathering AND root-node accounting: the
+            # parent process already did both during plan_root().
+            at_root = last_token is None
+            if at_root and root_candidates is not None:
+                candidates = root_candidates
             else:
-                candidates = gather_candidates(proj, last_token)
+                counters.nodes_expanded += 1
+                if progress is not None:
+                    progress.tick(
+                        depth=num_tokens,
+                        patterns=counters.patterns_emitted,
+                        candidates=counters.candidates_considered,
+                        pruned=counters.pruned_pair,
+                    )
+                if postfix_prune:
+                    # O(1) branch bound: at most len(proj) sequences of at
+                    # most max_weight each can support any descendant.
+                    if len(proj) * max_weight + _EPS < threshold_box[0]:
+                        counters.pruned_postfix_branches += 1
+                        return
+                if (
+                    self.max_tokens is not None
+                    and num_tokens >= self.max_tokens
+                ):
+                    return
+                if obs_on:
+                    with obs_span("extend", depth=num_tokens):
+                        candidates = gather_candidates(proj, last_token)
+                    for obs_cand in candidates:
+                        candidates_by_ext[obs_cand[0]] += 1
+                    if registry is not None:
+                        registry.histogram(
+                            "search.candidates_per_node",
+                            buckets=_CANDIDATE_BUCKETS,
+                        ).observe(len(candidates))
+                else:
+                    candidates = gather_candidates(proj, last_token)
+            if at_root and root_plan_out is not None:
+                root_plan_out.append(candidates)
+                return
             proj_map = dict(proj)
             for cand in sorted(candidates):
                 weight, sids = candidates[cand]
@@ -1019,10 +1156,32 @@ def _tidy(weight: float) -> float:
 
 def mine(
     db: ESequenceDatabase,
-    min_sup: float = 0.1,
+    min_sup: Optional[float] = None,
     *,
-    mode: str = "tp",
+    config: Optional[MinerConfig] = None,
+    workers: int = 1,
     **kwargs: Any,
 ) -> MiningResult:
-    """Convenience one-call API: ``mine(db, 0.05)``."""
-    return PTPMiner(min_sup, mode=mode, **kwargs).mine(db)
+    """Convenience one-call API: ``mine(db, 0.05)``.
+
+    Accepts either a ready-made :class:`~repro.core.config.MinerConfig`
+    (``mine(db, config=cfg)``) or keyword options that build one
+    (``mine(db, 0.05, mode="htp")``); unknown keywords fail eagerly with
+    a ``TypeError`` naming the valid options. ``workers > 1`` dispatches
+    to the sharded engine (:func:`repro.engine.mine_sharded`), which
+    returns the exact serial pattern set and counters.
+    """
+    if config is not None:
+        if min_sup is not None or kwargs:
+            raise TypeError(
+                "pass either config= or individual miner options, not both"
+            )
+    else:
+        if min_sup is not None:
+            kwargs["min_sup"] = min_sup
+        config = MinerConfig.from_kwargs(**kwargs)
+    if workers == 1:
+        return PTPMiner.from_config(config).mine(db)
+    from repro.engine import mine_sharded
+
+    return mine_sharded(db, config, workers=workers)

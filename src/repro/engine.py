@@ -1,0 +1,458 @@
+"""Parallel sharded mining engine.
+
+The engine parallelizes P-TPMiner by sharding its **level-1 fan-out**:
+the parent process runs the root of the search exactly once
+(:meth:`~repro.core.ptpminer.PTPMiner.plan_root` — validation, point
+pruning, encoding, pair tables, and the root candidate gather with full
+root-node accounting), partitions the root candidates into serializable
+:class:`ShardTask`s, and hands each shard to a worker that expands only
+its candidates' subtrees
+(:meth:`~repro.core.ptpminer.PTPMiner.search_shard`). Per-shard
+patterns, :class:`~repro.core.pruning.PruneCounters`, and observability
+data are then merged into a single :class:`~repro.core.ptpminer.MiningResult`.
+
+Determinism guarantee
+---------------------
+The merged result's pattern list — patterns *and* supports, in the
+canonical result order — is identical to the sequential miner's, for any
+worker count and any shard partition. So are the merged counters: the
+parent accounts the root node once, workers skip root accounting and sum
+only their subtrees, and subtree accounting is independent across root
+candidates, so ``parent + Σ shards`` reproduces the serial counters
+exactly. ``perf compare``'s exact counter gate therefore holds with
+``workers > 1``.
+
+Executors
+---------
+``serial``
+    Runs every shard in-process, sequentially. The default (and the
+    debugging surface: pure Python stack traces, no pickling).
+``process``
+    Runs shards on a :class:`concurrent.futures.ProcessPoolExecutor`.
+    The database is shipped once per worker via the pool initializer;
+    tasks themselves stay small. This module is the **only** place in
+    the repository allowed to construct a process pool (lint rule R008).
+
+Observability merge semantics
+-----------------------------
+Workers run with private, freshly scoped tracers/registries (never the
+parent's — a forked child must not write to inherited handles). Each
+shard ships its trace events and metrics snapshot home, where the
+parent:
+
+* re-emits trace events with span ids rewritten to ``"shard<i>:<id>"``
+  and orphan parents re-hung under the engine's dispatching span, so
+  ``--trace`` files stay a single well-formed tree;
+* absorbs metrics snapshots under the ``shard.`` prefix
+  (:meth:`~repro.obs.metrics.MetricsRegistry.absorb_snapshot`):
+  counters add across shards, histograms merge bound-for-bound.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro import contracts
+from repro.core.config import MinerConfig
+from repro.core.pruning import PruneCounters
+from repro.core.ptpminer import (
+    MiningResult,
+    PTPMiner,
+    RootCandidates,
+    _run_snapshot,
+)
+from repro.model.database import ESequenceDatabase
+from repro.model.pattern import PatternWithSupport
+from repro.obs import clock as obs_clock
+from repro.obs import metrics as obs_metrics
+from repro.obs import progress as obs_progress
+from repro.obs import trace as obs_trace
+
+__all__ = [
+    "EXECUTORS",
+    "ShardResult",
+    "ShardTask",
+    "ShardedMiner",
+    "mine_sharded",
+    "plan_shards",
+]
+
+#: Valid executor names (``"auto"`` resolves by worker count).
+EXECUTORS = ("auto", "serial", "process")
+
+#: One root candidate shipped to a worker:
+#: ``((ext_kind, sym, pocc), (weight, (sid, ...)))``.
+_TaskCandidate = tuple[tuple[int, int, int], tuple[float, tuple[int, ...]]]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTask:
+    """One worker's slice of the level-1 fan-out. Frozen and picklable.
+
+    The database itself is *not* part of the task — it is shipped once
+    per worker process through the pool initializer; tasks carry only
+    the shard's root candidates plus enough configuration to rebuild the
+    miner identically.
+    """
+
+    shard: int
+    num_shards: int
+    config: MinerConfig
+    threshold: float
+    candidates: tuple[_TaskCandidate, ...]
+
+    def candidate_map(self) -> RootCandidates:
+        """Rebuild the ``candidate -> (weight, sids)`` map the search eats."""
+        return {
+            cand: (weight, list(sids))
+            for cand, (weight, sids) in self.candidates
+        }
+
+
+@dataclass(slots=True)
+class ShardResult:
+    """What one shard sends home to be merged."""
+
+    shard: int
+    patterns: list[PatternWithSupport]
+    counters: PruneCounters
+    metrics: dict[str, Any] = field(default_factory=dict)
+    trace_events: list[dict[str, Any]] = field(default_factory=list)
+    elapsed: float = 0.0
+
+
+def plan_shards(
+    root: RootCandidates,
+    config: MinerConfig,
+    threshold: float,
+    num_shards: int,
+) -> list[ShardTask]:
+    """Partition the root candidates into at most ``num_shards`` tasks.
+
+    Candidates are dealt round-robin in canonical (sorted) order, which
+    spreads the heavy low-index prefixes across shards. Empty shards are
+    never produced; with fewer candidates than shards you get fewer
+    tasks. The partition has no effect on the merged result — only on
+    load balance.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    ordered = sorted(root)
+    count = min(num_shards, len(ordered))
+    if count == 0:
+        return []
+    buckets: list[list[_TaskCandidate]] = [[] for _ in range(count)]
+    for index, cand in enumerate(ordered):
+        weight, sids = root[cand]
+        buckets[index % count].append((cand, (weight, tuple(sids))))
+    return [
+        ShardTask(
+            shard=shard,
+            num_shards=count,
+            config=config,
+            threshold=threshold,
+            candidates=tuple(bucket),
+        )
+        for shard, bucket in enumerate(buckets)
+    ]
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: Per-worker-process payload installed by :func:`_init_worker`.
+_WORKER_PAYLOAD: dict[str, Any] = {}
+
+
+def _init_worker(
+    db: ESequenceDatabase,
+    weights: Sequence[float],
+    collect_metrics: bool,
+    collect_trace: bool,
+) -> None:
+    """Pool initializer: receive the database once, silence inherited obs.
+
+    A forked child inherits the parent's installed tracer / registry /
+    progress reporter; writing to those copies would be lost at best and
+    interleave with the parent's output at worst, so the worker starts
+    observability from a clean slate and scopes its own per-shard
+    collectors in :func:`_run_shard`.
+    """
+    obs_trace.set_tracer(None)
+    obs_metrics.set_registry(None)
+    obs_progress.set_reporter(None)
+    _WORKER_PAYLOAD["db"] = db
+    _WORKER_PAYLOAD["weights"] = list(weights)
+    _WORKER_PAYLOAD["collect_metrics"] = collect_metrics
+    _WORKER_PAYLOAD["collect_trace"] = collect_trace
+
+
+def _run_shard(task: ShardTask) -> ShardResult:
+    """Expand one shard (runs inside a worker process, or in-process)."""
+    db: ESequenceDatabase = _WORKER_PAYLOAD["db"]
+    weights: list[float] = _WORKER_PAYLOAD["weights"]
+    collector = (
+        obs_trace.TraceCollector()
+        if _WORKER_PAYLOAD["collect_trace"]
+        else None
+    )
+    registry = (
+        obs_metrics.MetricsRegistry()
+        if _WORKER_PAYLOAD["collect_metrics"]
+        else None
+    )
+    miner = PTPMiner.from_config(task.config)
+    started = obs_clock.now()
+    with ExitStack() as stack:
+        if registry is not None:
+            stack.enter_context(obs_metrics.use_registry(registry))
+        if collector is not None:
+            stack.enter_context(obs_trace.use_tracer(collector))
+        patterns, counters = miner.search_shard(
+            db, weights, task.threshold, task.candidate_map()
+        )
+    elapsed = obs_clock.now() - started
+    return ShardResult(
+        shard=task.shard,
+        patterns=patterns,
+        counters=counters,
+        metrics=registry.snapshot() if registry is not None else {},
+        trace_events=collector.events if collector is not None else [],
+        elapsed=elapsed,
+    )
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+def _run_serial(tasks: list[ShardTask]) -> list[ShardResult]:
+    """Run every shard in-process, sequentially."""
+    return [_run_shard(task) for task in tasks]
+
+
+def _run_process(
+    tasks: list[ShardTask],
+    db: ESequenceDatabase,
+    weights: Sequence[float],
+    workers: int,
+    collect_metrics: bool,
+    collect_trace: bool,
+) -> list[ShardResult]:
+    """Run shards on a process pool, shipping the database once per worker."""
+    # The one sanctioned process-pool construction site (lint rule R008).
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)),
+        initializer=_init_worker,
+        initargs=(db, weights, collect_metrics, collect_trace),
+    ) as pool:
+        return list(pool.map(_run_shard, tasks))
+
+
+def _reemit_shard_trace(
+    tracer: obs_trace.Tracer,
+    result: ShardResult,
+    parent_span: Optional[int],
+) -> None:
+    """Replay a worker's span events into the parent trace.
+
+    Span ids are rewritten to ``"shard<i>:<id>"`` strings (unique across
+    shards); parent links pointing at spans the worker did not itself
+    open — ``None`` roots, or stale ids inherited through ``fork`` — are
+    re-hung under the engine's dispatching span.
+    """
+    own = {ev["span"] for ev in result.trace_events}
+
+    def remap(span_id: Any) -> Any:
+        if span_id in own:
+            return f"shard{result.shard}:{span_id}"
+        return parent_span
+
+    for event in result.trace_events:
+        rewritten = dict(event)
+        rewritten["span"] = f"shard{result.shard}:{event['span']}"
+        if "parent" in rewritten:
+            rewritten["parent"] = remap(event["parent"])
+        tracer.emit(rewritten)
+
+
+# ----------------------------------------------------------------------
+# the engine entry points
+# ----------------------------------------------------------------------
+def mine_sharded(
+    db: ESequenceDatabase,
+    config: MinerConfig,
+    *,
+    workers: int = 1,
+    executor: str = "auto",
+) -> MiningResult:
+    """Mine ``db`` with the sharded engine.
+
+    Returns a result whose patterns, supports, and counters are
+    identical to ``PTPMiner.from_config(config).mine(db)`` for every
+    ``workers`` value (see the module docstring for why). ``executor``
+    is one of :data:`EXECUTORS`; ``"auto"`` picks ``serial`` for one
+    worker and ``process`` otherwise.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
+    resolved = (
+        ("serial" if workers == 1 else "process")
+        if executor == "auto"
+        else executor
+    )
+    miner = PTPMiner.from_config(config)
+    threshold = float(db.absolute_support(config.min_sup))
+    weights = [1.0] * len(db)
+    registry = obs_metrics.active_registry()
+    tracer = obs_trace.active_tracer()
+    started = obs_clock.now()
+    with obs_trace.span(
+        "mine",
+        miner="P-TPMiner",
+        mode=config.mode,
+        sequences=len(db),
+        workers=workers,
+        executor=resolved,
+    ):
+        mining_db, counters, root = miner.plan_root(db, weights, threshold)
+        tasks = plan_shards(root, config, threshold, workers)
+        parent_span = obs_trace.current_span_id()
+        with obs_trace.span("shards", count=len(tasks)):
+            if not tasks:
+                shard_results: list[ShardResult] = []
+            elif resolved == "serial":
+                # In-process: point the payload at this run's data.
+                _init_payload_inline(
+                    mining_db,
+                    weights,
+                    collect_metrics=registry is not None,
+                    collect_trace=tracer is not None,
+                )
+                try:
+                    shard_results = _run_serial(tasks)
+                finally:
+                    _clear_payload()
+            else:
+                shard_results = _run_process(
+                    tasks,
+                    mining_db,
+                    weights,
+                    workers,
+                    collect_metrics=registry is not None,
+                    collect_trace=tracer is not None,
+                )
+        with obs_trace.span("merge", shards=len(shard_results)):
+            patterns: list[PatternWithSupport] = []
+            for result in sorted(shard_results, key=lambda r: r.shard):
+                patterns.extend(result.patterns)
+                counters.merge(result.counters)
+                if tracer is not None:
+                    _reemit_shard_trace(tracer, result, parent_span)
+                if registry is not None and result.metrics:
+                    registry.absorb_snapshot(result.metrics, prefix="shard.")
+            patterns.sort(key=PatternWithSupport.sort_key)
+    if contracts.checking:
+        counters.check_consistency()
+        miner._oracle_check(db, weights, threshold, patterns)
+    elapsed = obs_clock.now() - started
+    return MiningResult(
+        patterns=patterns,
+        threshold=threshold,
+        db_size=len(db),
+        elapsed=elapsed,
+        counters=counters,
+        metrics=_run_snapshot(
+            registry,
+            counters,
+            patterns=len(patterns),
+            elapsed=elapsed,
+            db_size=len(db),
+            threshold=threshold,
+        ),
+        miner="P-TPMiner",
+        params={
+            **config.describe(),
+            "workers": workers,
+            "executor": resolved,
+            "shards": len(tasks),
+        },
+    )
+
+
+def _init_payload_inline(
+    db: ESequenceDatabase,
+    weights: Sequence[float],
+    *,
+    collect_metrics: bool,
+    collect_trace: bool,
+) -> None:
+    """Serial-executor payload setup (no obs silencing: same process)."""
+    _WORKER_PAYLOAD["db"] = db
+    _WORKER_PAYLOAD["weights"] = list(weights)
+    _WORKER_PAYLOAD["collect_metrics"] = collect_metrics
+    _WORKER_PAYLOAD["collect_trace"] = collect_trace
+
+
+def _clear_payload() -> None:
+    """Drop the inline payload so stale databases are not kept alive."""
+    _WORKER_PAYLOAD.clear()
+
+
+class ShardedMiner:
+    """P-TPMiner behind the sharded engine; satisfies the Miner protocol.
+
+    A drop-in for :class:`~repro.core.ptpminer.PTPMiner` whose
+    :meth:`mine` runs the engine instead of the sequential search —
+    with an identical result, per the determinism guarantee.
+    """
+
+    def __init__(
+        self,
+        min_sup: float = 0.1,
+        *,
+        workers: int = 1,
+        executor: str = "auto",
+        config: Optional[MinerConfig] = None,
+        **kwargs: Any,
+    ) -> None:
+        if config is not None:
+            if kwargs:
+                raise TypeError(
+                    "pass either config= or individual miner options, "
+                    "not both"
+                )
+            self.config = config
+        else:
+            self.config = MinerConfig.from_kwargs(min_sup=min_sup, **kwargs)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        self.workers = workers
+        self.executor = executor
+
+    @classmethod
+    def from_config(
+        cls,
+        config: MinerConfig,
+        *,
+        workers: int = 1,
+        executor: str = "auto",
+    ) -> "ShardedMiner":
+        """Build from a ready-made :class:`MinerConfig`."""
+        return cls(config=config, workers=workers, executor=executor)
+
+    def mine(self, db: ESequenceDatabase) -> MiningResult:
+        """Mine ``db`` through :func:`mine_sharded`."""
+        return mine_sharded(
+            db, self.config, workers=self.workers, executor=self.executor
+        )

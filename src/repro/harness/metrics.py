@@ -31,6 +31,10 @@ class RunMetrics:
     run's metrics snapshot when ``collect_obs=True``, else ``None``.
     ``profile`` holds the serialised per-phase profile
     (``ProfileReport.as_dict()``) when ``collect_profile=True``.
+    ``workers`` is measurement provenance: how many engine workers the
+    measured callable was configured with (1 for sequential runs) —
+    sweeps surface it as a column so parallel and serial rows are never
+    conflated.
     """
 
     result: Any
@@ -38,6 +42,7 @@ class RunMetrics:
     peak_mem_bytes: Optional[int]
     obs: Optional[dict[str, Any]] = None
     profile: Optional[dict[str, Any]] = None
+    workers: int = 1
 
     @property
     def peak_mem_mb(self) -> Optional[float]:
@@ -53,6 +58,7 @@ def measure(
     track_memory: bool = True,
     collect_obs: bool = False,
     collect_profile: bool = False,
+    workers: int = 1,
 ) -> RunMetrics:
     """Run ``fn`` once, measuring wall time and peak heap growth.
 
@@ -85,7 +91,17 @@ def measure(
       :func:`~repro.obs.profile.profile_scope`), the inner call reuses
       the outer trace: it resets the peak, measures growth relative to
       the current heap, and leaves tracemalloc running on exit.
+
+    ``workers`` is pure provenance: it does not change how ``fn`` runs
+    (the callable itself decides that, e.g. via
+    :func:`repro.engine.mine_sharded`), it only stamps the returned
+    :attr:`RunMetrics.workers` so downstream rows carry the setting.
+    Note that with ``workers > 1`` and a process executor,
+    ``peak_mem_bytes`` only tracks the parent process's heap — worker
+    allocations are invisible to tracemalloc.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     if collect_profile:
         from repro.obs.profile import profile_scope
 
@@ -99,6 +115,7 @@ def measure(
             inner.peak_mem_bytes,
             inner.obs,
             profiler.report().as_dict(),
+            workers,
         )
     if collect_obs:
         with _obs_metrics.use_registry() as registry:
@@ -108,11 +125,14 @@ def measure(
             inner.elapsed_s,
             inner.peak_mem_bytes,
             registry.snapshot(),
+            workers=workers,
         )
     if not track_memory:
         started = _obs_clock.now()
         result = fn()
-        return RunMetrics(result, _obs_clock.now() - started, None)
+        return RunMetrics(
+            result, _obs_clock.now() - started, None, workers=workers
+        )
     already_tracing = tracemalloc.is_tracing()
     if not already_tracing:
         tracemalloc.start()
@@ -126,4 +146,6 @@ def measure(
     finally:
         if not already_tracing:
             tracemalloc.stop()
-    return RunMetrics(result, elapsed, max(0, peak - base))
+    return RunMetrics(
+        result, elapsed, max(0, peak - base), workers=workers
+    )

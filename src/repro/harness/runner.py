@@ -92,6 +92,7 @@ class ExperimentRunner:
         track_memory: bool = False,
         collect_obs: bool = False,
         collect_profile: bool = False,
+        workers: int = 1,
         extra: dict | None = None,
     ) -> list[dict]:
         """Run every miner at one sweep point, appending result rows.
@@ -104,21 +105,40 @@ class ExperimentRunner:
         under ``"profile"`` plus its hottest self-time function as the
         ``"profile_top"`` column — note profiling inflates ``runtime_s``
         (see :func:`repro.harness.metrics.measure`).
+        ``workers`` routes each built miner through the sharded engine
+        when > 1 (the spec's miner must be a
+        :class:`~repro.core.ptpminer.PTPMiner`) and is emitted as a
+        ``workers`` row column either way, so speedup sweeps can plot
+        runtime against worker count without conflating rows.
         """
         new_rows = []
         for spec in miners:
             miner = spec.build(x_value)
+            if workers != 1:
+                from repro.core.ptpminer import PTPMiner
+                from repro.engine import ShardedMiner
+
+                if not isinstance(miner, PTPMiner):
+                    raise ValueError(
+                        "workers > 1 requires a PTPMiner spec; "
+                        f"{spec.name!r} built {type(miner).__name__}"
+                    )
+                miner = ShardedMiner.from_config(
+                    miner.config, workers=workers
+                )
             metrics = measure(
                 lambda m=miner: m.mine(db),
                 track_memory=track_memory,
                 collect_obs=collect_obs,
                 collect_profile=collect_profile,
+                workers=workers,
             )
             mining = metrics.result
             row = {
                 "miner": spec.name,
                 self.x_name: x_value,
                 "dataset": db.name,
+                "workers": metrics.workers,
                 "runtime_s": round(metrics.elapsed_s, 4),
                 "patterns": len(mining.patterns),
             }

@@ -128,6 +128,24 @@ class ESequenceDatabase:
             )
         return int(min_sup)
 
+    def require_mode(self, mode: str) -> None:
+        """Raise unless this database is minable in ``mode``.
+
+        ``"tp"`` mining rejects databases containing point events (strip
+        them with :meth:`without_point_events` or mine with
+        ``mode="htp"``). This is the single home of the check every
+        miner used to duplicate at the top of its ``mine()``.
+        """
+        if mode != "tp":
+            return
+        for seq in self._sequences:
+            if seq.has_point_events:
+                raise ValueError(
+                    "database contains point events; mine with "
+                    'mode="htp" or strip them with '
+                    "db.without_point_events()"
+                )
+
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------

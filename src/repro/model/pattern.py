@@ -596,6 +596,12 @@ class PatternWithSupport(tuple):
     ) -> "PatternWithSupport":
         return super().__new__(cls, (pattern, support))
 
+    def __getnewargs__(self) -> tuple[TemporalPattern, float]:
+        # A tuple subclass with a mandatory-argument __new__ must spell
+        # out its construction args or pickling fails (shard results
+        # cross process boundaries in repro.engine).
+        return (self[0], self[1])
+
     @property
     def pattern(self) -> TemporalPattern:
         """The mined pattern."""

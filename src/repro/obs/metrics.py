@@ -191,6 +191,46 @@ class MetricsRegistry:
         for name, value in totals.items():
             self.counter(prefix + name).inc(float(value))
 
+    def absorb_snapshot(
+        self, snapshot: Mapping[str, Any], *, prefix: str = ""
+    ) -> None:
+        """Merge another registry's :meth:`snapshot` into this one.
+
+        The merge seam for :mod:`repro.engine`: each shard worker runs
+        with a private registry and ships its snapshot home, where the
+        parent absorbs it under a ``shard.`` prefix. Counters add,
+        gauges take the absorbed value (last write wins), histograms are
+        reconstructed bound-for-bound and their counts added. Rendered
+        keys (``name[k=v,...]``) are kept verbatim apart from the
+        prefix, so absorbed metrics stay diffable without re-parsing
+        labels.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self.counter(prefix + key).inc(float(value))
+        for key, value in snapshot.get("gauges", {}).items():
+            self.gauge(prefix + key).set(float(value))
+        for key, data in snapshot.get("histograms", {}).items():
+            buckets: Mapping[str, int] = data.get("buckets", {})
+            bounds = sorted(
+                float(k[3:]) for k in buckets if k.startswith("le_")
+            )
+            if not bounds:
+                continue
+            hist = self.histogram(prefix + key, buckets=bounds)
+            for bound_key, count in buckets.items():
+                if bound_key == "inf":
+                    hist.overflow += int(count)
+                    continue
+                bound = float(bound_key[3:])
+                idx = bisect_left(hist.bounds, bound)
+                if idx < len(hist.bounds) and hist.bounds[idx] == bound:
+                    hist.bucket_counts[idx] += int(count)
+                else:
+                    # Bounds drifted between shards; don't lose the count.
+                    hist.overflow += int(count)
+            hist.count += int(data.get("count", 0))
+            hist.total += float(data.get("sum", 0.0))
+
     def snapshot(self) -> dict[str, Any]:
         """Everything recorded so far, as a JSON-serialisable dict.
 

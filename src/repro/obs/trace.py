@@ -46,6 +46,7 @@ __all__ = [
     "TraceCollector",
     "Tracer",
     "active_tracer",
+    "current_span_id",
     "read_trace",
     "set_tracer",
     "span",
@@ -151,6 +152,16 @@ _next_id = 1
 def active_tracer() -> Optional[Tracer]:
     """The installed tracer, or ``None`` when tracing is off."""
     return _tracer
+
+
+def current_span_id() -> Optional[int]:
+    """Id of the innermost open span, or ``None`` at the trace root.
+
+    :mod:`repro.engine` uses this as the parent link when re-emitting a
+    worker's span events into the parent trace, so shard subtrees hang
+    off the span that dispatched them.
+    """
+    return _span_stack[-1] if _span_stack else None
 
 
 def set_tracer(tracer: Optional[Tracer]) -> None:

@@ -87,9 +87,13 @@ def run_cell(
     if db is None:
         db = build_database(cell)
     # Timing run: no tracemalloc, no registry — the leanest path.
-    timed = measure(lambda: cell.mine(db), track_memory=False)
+    timed = measure(
+        lambda: cell.mine(db), track_memory=False, workers=cell.workers
+    )
     # Memory run: separate, so tracemalloc never pollutes wall_s above.
-    traced = measure(lambda: cell.mine(db), track_memory=True)
+    traced = measure(
+        lambda: cell.mine(db), track_memory=True, workers=cell.workers
+    )
     counters = dict(timed.result.counters.as_dict())
     if counters != traced.result.counters.as_dict():
         raise RuntimeError(
@@ -103,6 +107,7 @@ def run_cell(
         "num_sequences": cell.num_sequences,
         "min_sup": cell.min_sup,
         "miner": cell.miner,
+        "workers": cell.workers,
         "wall_s": round(timed.elapsed_s, 6),
         "peak_mib": None if peak is None else round(peak, 3),
         "patterns": len(timed.result.patterns),

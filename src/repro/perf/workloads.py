@@ -24,17 +24,14 @@ Matrices:
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator
+import warnings
+from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass
 from typing import Any
 
-from repro.baselines import (
-    BruteForceMiner,
-    HDFSMiner,
-    IEMiner,
-    TPrefixSpanMiner,
-)
-from repro.core.ptpminer import MiningResult, PTPMiner
+from repro import miners
+from repro.core.config import MinerConfig
+from repro.core.ptpminer import MiningResult
 from repro.datagen import standard_dataset
 from repro.model.database import ESequenceDatabase
 
@@ -46,43 +43,83 @@ __all__ = [
     "matrix_cells",
 ]
 
-#: Miner key -> factory taking the cell's min_sup.
-MINER_FACTORIES: dict[str, Callable[[float], Any]] = {
-    "ptpminer": lambda min_sup: PTPMiner(min_sup),
-    "tprefixspan": lambda min_sup: TPrefixSpanMiner(min_sup),
-    "hdfs": lambda min_sup: HDFSMiner(min_sup),
-    "ieminer": lambda min_sup: IEMiner(min_sup),
-    "bruteforce": lambda min_sup: BruteForceMiner(min_sup),
-}
+
+class _DeprecatedFactories(Mapping[str, Callable[[float], Any]]):
+    """Deprecation shim for the old ``MINER_FACTORIES`` dict.
+
+    Miner construction now goes through the :mod:`repro.miners`
+    registry; this keeps old ``MINER_FACTORIES["ptpminer"](0.1)`` call
+    sites working (with a :class:`DeprecationWarning`) until they
+    migrate to ``miners.build(name, min_sup=...)``.
+    """
+
+    def __getitem__(self, name: str) -> Callable[[float], Any]:
+        factory = miners.get(name)  # raises the canonical error
+        warnings.warn(
+            "MINER_FACTORIES is deprecated; use repro.miners.build() "
+            "or repro.miners.get() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return lambda min_sup: factory(MinerConfig(min_sup=min_sup))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(miners.available())
+
+    def __len__(self) -> int:
+        return len(miners.available())
+
+
+#: Deprecated: miner key -> factory taking the cell's min_sup.
+MINER_FACTORIES: Mapping[str, Callable[[float], Any]] = (
+    _DeprecatedFactories()
+)
 
 
 @dataclass(frozen=True, slots=True)
 class WorkloadCell:
-    """One deterministic (dataset, support, miner) measurement point."""
+    """One deterministic (dataset, support, miner) measurement point.
+
+    ``workers`` selects the sharded engine (``workers > 1`` implies the
+    process executor); the merged result's counters equal the serial
+    run's exactly, so the counter-agreement gate applies unchanged.
+    """
 
     dataset: str
     num_sequences: int
     min_sup: float
     miner: str
+    workers: int = 1
 
     def __post_init__(self) -> None:
-        if self.miner not in MINER_FACTORIES:
+        if self.miner not in miners.available():
             raise ValueError(
                 f"unknown miner {self.miner!r}; "
-                f"known: {sorted(MINER_FACTORIES)}"
+                f"known: {sorted(miners.available())}"
             )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @property
     def cell_id(self) -> str:
-        """Stable key used to match cells across baseline and fresh runs."""
-        return (
+        """Stable key used to match cells across baseline and fresh runs.
+
+        The ``/wN`` suffix only appears for parallel cells so every
+        pre-existing baseline cell id is unchanged.
+        """
+        base = (
             f"{self.dataset}{self.num_sequences}"
             f"/sup{self.min_sup:g}/{self.miner}"
         )
+        return base if self.workers == 1 else f"{base}/w{self.workers}"
 
     def build_miner(self) -> Any:
         """A fresh miner instance configured for this cell."""
-        return MINER_FACTORIES[self.miner](self.min_sup)
+        return miners.build(
+            self.miner,
+            MinerConfig(min_sup=self.min_sup),
+            workers=self.workers,
+        )
 
     def mine(self, db: ESequenceDatabase) -> MiningResult:
         """Run this cell's miner on ``db`` (always a fresh instance)."""
@@ -117,6 +154,10 @@ MATRICES: dict[str, tuple[WorkloadCell, ...]] = {
         # verification-based baselines are already ~100x slower here at
         # moderate supports, so keep supports high and skip brute force.
         *_grid("dense", 40, (0.5, 0.6), _FAST_MINERS),
+        # Sharded engine: same sparse workload through the process
+        # executor, gating both the exact shard-merge (counters must
+        # equal the serial cell's) and parallel-dispatch overhead.
+        WorkloadCell("sparse", 120, 0.2, "ptpminer", workers=2),
     ),
     "tiny": (
         *_grid("tiny", 60, (0.4,), ("ptpminer", "tprefixspan")),

@@ -50,3 +50,23 @@ class TestPruneCounters:
         a, b = PruneCounters(), PruneCounters()
         a.extras["x"] = 1
         assert "x" not in b.extras
+
+
+class TestPruneCountersMerge:
+    def test_merge_adds_every_field_and_extras(self):
+        a = PruneCounters(nodes_expanded=3, pruned_pair=1)
+        a.extras["pruned_apriori"] = 2
+        b = PruneCounters(nodes_expanded=4, patterns_emitted=5)
+        b.extras["pruned_apriori"] = 7
+        b.extras["other"] = 1
+        a.merge(b)
+        assert a.nodes_expanded == 7
+        assert a.pruned_pair == 1
+        assert a.patterns_emitted == 5
+        assert a.extras == {"pruned_apriori": 9, "other": 1}
+
+    def test_merge_with_zero_is_identity(self):
+        a = PruneCounters(nodes_expanded=3, pruned_postfix_branches=2)
+        before = a.as_dict()
+        a.merge(PruneCounters())
+        assert a.as_dict() == before

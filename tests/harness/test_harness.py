@@ -309,3 +309,48 @@ class TestCsvExport:
         path = tmp_path / "rows.csv"
         write_rows_csv(runner.result, path)
         assert path.read_text() == "\r\n" or path.read_text() == "\n"
+
+
+class TestWorkersProvenance:
+    def test_measure_stamps_workers(self):
+        metrics = measure(lambda: 1, track_memory=False, workers=3)
+        assert metrics.workers == 3
+        assert measure(lambda: 1, track_memory=False).workers == 1
+
+    def test_measure_rejects_bad_workers(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="workers"):
+            measure(lambda: 1, workers=0)
+
+    def test_run_point_emits_workers_column(self):
+        from repro.core.ptpminer import PTPMiner
+        from repro.datagen import standard_dataset
+
+        db = standard_dataset("tiny")
+        runner = ExperimentRunner("workers-sweep")
+        specs = [MinerSpec("ptpminer", lambda s: PTPMiner(s))]
+        serial_rows = runner.run_point(db, 0.4, specs)
+        sharded_rows = runner.run_point(db, 0.4, specs, workers=2)
+        assert serial_rows[0]["workers"] == 1
+        assert sharded_rows[0]["workers"] == 2
+        # The engine's determinism guarantee reaches the sweep rows:
+        # identical pattern counts and search counters, only runtime
+        # may differ.
+        assert sharded_rows[0]["patterns"] == serial_rows[0]["patterns"]
+        assert (
+            sharded_rows[0]["nodes_expanded"]
+            == serial_rows[0]["nodes_expanded"]
+        )
+
+    def test_run_point_workers_requires_ptpminer(self):
+        import pytest
+
+        from repro.baselines.tprefixspan import TPrefixSpanMiner
+        from repro.datagen import standard_dataset
+
+        db = standard_dataset("tiny")
+        runner = ExperimentRunner("bad")
+        specs = [MinerSpec("tprefixspan", lambda s: TPrefixSpanMiner(s))]
+        with pytest.raises(ValueError, match="PTPMiner"):
+            runner.run_point(db, 0.4, specs, workers=2)

@@ -130,3 +130,58 @@ class TestInstallation:
             with use_registry():
                 raise RuntimeError("boom")
         assert active_registry() is None
+
+
+class TestAbsorbSnapshot:
+    def test_counters_add_under_prefix(self):
+        worker = MetricsRegistry()
+        worker.counter("nodes").inc(5)
+        parent = MetricsRegistry()
+        parent.counter("shard.nodes").inc(1)
+        parent.absorb_snapshot(worker.snapshot(), prefix="shard.")
+        assert parent.snapshot()["counters"]["shard.nodes"] == 6
+
+    def test_counters_add_across_shards(self):
+        parent = MetricsRegistry()
+        for value in (3, 4):
+            worker = MetricsRegistry()
+            worker.counter("nodes").inc(value)
+            parent.absorb_snapshot(worker.snapshot(), prefix="shard.")
+        assert parent.snapshot()["counters"]["shard.nodes"] == 7
+
+    def test_gauges_take_absorbed_value(self):
+        parent = MetricsRegistry()
+        parent.gauge("depth").set(2)
+        worker = MetricsRegistry()
+        worker.gauge("depth").set(9)
+        parent.absorb_snapshot(worker.snapshot())
+        assert parent.snapshot()["gauges"]["depth"] == 9
+
+    def test_histograms_merge_bound_for_bound(self):
+        parent = MetricsRegistry()
+        for observations in ((0.5, 1.5), (0.7, 99.0)):
+            worker = MetricsRegistry()
+            hist = worker.histogram("lat", buckets=[1.0, 2.0])
+            for value in observations:
+                hist.observe(value)
+            parent.absorb_snapshot(worker.snapshot(), prefix="shard.")
+        merged = parent.snapshot()["histograms"]["shard.lat"]
+        assert merged["count"] == 4
+        assert merged["buckets"]["le_1"] == 2
+        assert merged["buckets"]["inf"] == 1
+        assert merged["sum"] == pytest.approx(0.5 + 1.5 + 0.7 + 99.0)
+
+    def test_rendered_label_keys_survive_verbatim(self):
+        worker = MetricsRegistry()
+        worker.counter("phase_seconds", phase="search").inc(2)
+        parent = MetricsRegistry()
+        parent.absorb_snapshot(worker.snapshot(), prefix="shard.")
+        counters = parent.snapshot()["counters"]
+        assert counters == {"shard.phase_seconds[phase=search]": 2}
+
+    def test_empty_snapshot_is_a_no_op(self):
+        parent = MetricsRegistry()
+        parent.absorb_snapshot({})
+        assert parent.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }

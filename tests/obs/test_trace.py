@@ -152,3 +152,22 @@ class TestInstallation:
                 assert active_tracer() is second
             assert active_tracer() is first
         assert active_tracer() is None
+
+
+class TestCurrentSpanId:
+    def test_none_at_trace_root(self):
+        from repro.obs.trace import current_span_id
+
+        assert current_span_id() is None
+
+    def test_inner_span_id_matches_emitted_event(self):
+        from repro.obs.trace import current_span_id, span
+
+        collector = TraceCollector()
+        with use_tracer(collector):
+            with span("outer"):
+                inside = current_span_id()
+            after = current_span_id()
+        begin = collector.events[0]
+        assert begin["span"] == inside
+        assert after is None

@@ -304,3 +304,57 @@ class TestCommittedBaseline:
         for row in baseline["cells"]:
             assert row["counters"], row["cell"]
             assert row["patterns"] >= 0
+
+
+class TestParallelCells:
+    def test_workers_cell_id_gets_suffix_only_when_parallel(self):
+        serial = WorkloadCell("sparse", 120, 0.2, "ptpminer")
+        parallel = WorkloadCell("sparse", 120, 0.2, "ptpminer", workers=2)
+        assert serial.cell_id == "sparse120/sup0.2/ptpminer"
+        assert parallel.cell_id == "sparse120/sup0.2/ptpminer/w2"
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkloadCell("sparse", 120, 0.2, "ptpminer", workers=0)
+
+    def test_quick_matrix_has_a_sharded_cell(self):
+        ids = [cell.cell_id for cell in matrix_cells("quick")]
+        assert "sparse120/sup0.2/ptpminer/w2" in ids
+
+    def test_sharded_cell_counters_equal_serial_cell(self):
+        """The exact counter-agreement gate the w2 cell exists for."""
+        from repro.perf.baseline import run_cell
+        from repro.perf.workloads import build_database
+
+        serial = WorkloadCell("tiny", 60, 0.4, "ptpminer")
+        parallel = WorkloadCell("tiny", 60, 0.4, "ptpminer", workers=2)
+        db = build_database(serial)
+        serial_row = run_cell(serial, db)
+        parallel_row = run_cell(parallel, db)
+        assert parallel_row["counters"] == serial_row["counters"]
+        assert parallel_row["patterns"] == serial_row["patterns"]
+        assert parallel_row["workers"] == 2
+        assert parallel_row["cell"].endswith("/w2")
+
+
+class TestDeprecatedFactories:
+    def test_lookup_warns_but_still_builds(self):
+        from repro.perf.workloads import MINER_FACTORIES
+
+        with pytest.warns(DeprecationWarning, match="MINER_FACTORIES"):
+            factory = MINER_FACTORIES["ptpminer"]
+        miner = factory(0.4)
+        assert miner.config.min_sup == 0.4
+
+    def test_mapping_surface_matches_registry(self):
+        from repro import miners
+        from repro.perf.workloads import MINER_FACTORIES
+
+        assert set(MINER_FACTORIES) == set(miners.available())
+        assert len(MINER_FACTORIES) == len(miners.available())
+
+    def test_unknown_name_raises_canonical_error(self):
+        from repro.perf.workloads import MINER_FACTORIES
+
+        with pytest.raises(ValueError, match="unknown miner"):
+            MINER_FACTORIES["nope"]

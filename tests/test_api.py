@@ -27,6 +27,7 @@ class TestSurface:
             "repro.temporal.allen",
             "repro.temporal.endpoint",
             "repro.temporal.relation_matrix",
+            "repro.core.config",
             "repro.core.ptpminer",
             "repro.core.projection",
             "repro.core.counting",
@@ -49,6 +50,8 @@ class TestSurface:
             "repro.harness.tables",
             "repro.harness.figures",
             "repro.harness.runner",
+            "repro.engine",
+            "repro.miners",
             "repro.cli",
         ],
     )

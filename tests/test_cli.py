@@ -287,3 +287,57 @@ class TestParser:
 
         with _pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestParallelMining:
+    def test_workers_output_matches_serial(self, tiny_file, capsys):
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3"]) == 0
+        reference = capsys.readouterr().out.splitlines()[1:]
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--workers", "4"]) == 0
+        got = capsys.readouterr().out.splitlines()[1:]
+        assert got == reference
+
+    def test_serial_executor_flag(self, tiny_file, capsys):
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--workers", "2", "--executor", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "(e0+) (e0-)" in out
+
+    def test_workers_rejected_for_baselines(self, tiny_file, capsys):
+        code = main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--miner", "hdfs", "--workers", "2"])
+        assert code == 2
+        assert "only supported" in capsys.readouterr().err
+
+    def test_workers_rejected_with_top_k(self, tiny_file, capsys):
+        code = main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--top-k", "5", "--workers", "2"])
+        assert code == 2
+        assert "--top-k" in capsys.readouterr().err
+
+    def test_unsupported_option_errors_eagerly(self, tiny_file, capsys):
+        # IEMiner silently ignored --max-span before the MinerConfig
+        # redesign; now the mismatch is a clean usage error.
+        code = main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--miner", "ieminer", "--max-span", "5"])
+        assert code == 2
+        assert "IEMiner" in capsys.readouterr().err
+
+    def test_trace_and_metrics_survive_workers(self, tiny_file, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--workers", "2", "--executor", "serial",
+                     "--trace", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+        import json
+
+        from repro.obs.trace import read_trace
+
+        events = read_trace(trace_path)
+        assert any(str(ev.get("span", "")).startswith("shard")
+                   for ev in events)
+        snapshot = json.loads(metrics_path.read_text())
+        assert any(key.startswith("shard.")
+                   for key in snapshot["counters"])

@@ -1,0 +1,297 @@
+"""Tests for the parallel sharded mining engine (:mod:`repro.engine`).
+
+The load-bearing claim is the determinism guarantee: for any worker
+count and either executor, the merged result — patterns, supports,
+*and* search counters — is bit-for-bit identical to the sequential
+miner's. Everything else (pickling, shard planning, obs merging) exists
+to make that guarantee hold across process boundaries.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.ptpminer import PTPMiner, mine
+from repro.datagen import standard_dataset
+from repro.engine import (
+    EXECUTORS,
+    ShardTask,
+    ShardedMiner,
+    mine_sharded,
+    plan_shards,
+)
+from repro.model.database import ESequenceDatabase
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    return standard_dataset("tiny")
+
+
+@pytest.fixture(scope="module")
+def hybrid_db():
+    return standard_dataset("hybrid", num_sequences=40)
+
+
+def assert_identical(sharded, serial):
+    """The full determinism guarantee: patterns, supports, counters."""
+    assert sharded.patterns == serial.patterns
+    assert sharded.counters == serial.counters
+    assert sharded.threshold == serial.threshold
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    def test_serial_executor_matches_sequential(self, tiny_db, workers):
+        config = MinerConfig(min_sup=0.3)
+        serial = PTPMiner.from_config(config).mine(tiny_db)
+        sharded = mine_sharded(
+            tiny_db, config, workers=workers, executor="serial"
+        )
+        assert_identical(sharded, serial)
+
+    def test_process_executor_matches_sequential(self, tiny_db):
+        config = MinerConfig(min_sup=0.3)
+        serial = PTPMiner.from_config(config).mine(tiny_db)
+        sharded = mine_sharded(
+            tiny_db, config, workers=2, executor="process"
+        )
+        assert_identical(sharded, serial)
+
+    def test_htp_mode_with_point_events(self, hybrid_db):
+        config = MinerConfig(min_sup=0.2, mode="htp")
+        serial = PTPMiner.from_config(config).mine(hybrid_db)
+        sharded = mine_sharded(
+            hybrid_db, config, workers=3, executor="serial"
+        )
+        assert_identical(sharded, serial)
+
+    def test_max_span_constraint(self, tiny_db):
+        config = MinerConfig(min_sup=0.2, max_span=6.0)
+        serial = PTPMiner.from_config(config).mine(tiny_db)
+        sharded = mine_sharded(
+            tiny_db, config, workers=2, executor="serial"
+        )
+        assert_identical(sharded, serial)
+
+    def test_empty_root_returns_empty_result(self, tiny_db):
+        # min_sup 1.0 on tiny leaves nothing frequent at the root of
+        # some prefixes; crank it so the whole fan-out dies and the
+        # engine takes its no-tasks path.
+        config = MinerConfig(min_sup=1.0)
+        serial = PTPMiner.from_config(config).mine(tiny_db)
+        sharded = mine_sharded(
+            tiny_db, config, workers=4, executor="serial"
+        )
+        assert_identical(sharded, serial)
+
+    def test_more_workers_than_candidates(self, tiny_db):
+        config = MinerConfig(min_sup=0.5)
+        serial = PTPMiner.from_config(config).mine(tiny_db)
+        sharded = mine_sharded(
+            tiny_db, config, workers=64, executor="serial"
+        )
+        assert_identical(sharded, serial)
+
+    def test_result_params_record_engine_settings(self, tiny_db):
+        result = mine_sharded(
+            tiny_db, MinerConfig(min_sup=0.4), workers=2, executor="serial"
+        )
+        assert result.params["workers"] == 2
+        assert result.params["executor"] == "serial"
+        assert result.params["shards"] >= 1
+        assert result.miner == "P-TPMiner"
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self, tiny_db):
+        with pytest.raises(ValueError, match="workers"):
+            mine_sharded(tiny_db, MinerConfig(min_sup=0.3), workers=0)
+
+    def test_unknown_executor_rejected(self, tiny_db):
+        with pytest.raises(ValueError, match="executor"):
+            mine_sharded(
+                tiny_db, MinerConfig(min_sup=0.3), executor="threads"
+            )
+
+    def test_auto_resolves_by_worker_count(self, tiny_db):
+        one = mine_sharded(tiny_db, MinerConfig(min_sup=0.4), workers=1)
+        assert one.params["executor"] == "serial"
+        assert "auto" in EXECUTORS
+
+
+class TestPlanShards:
+    def _root(self, db, min_sup=0.3):
+        config = MinerConfig(min_sup=min_sup)
+        miner = PTPMiner.from_config(config)
+        threshold = float(db.absolute_support(min_sup))
+        _, _, root = miner.plan_root(db, [1.0] * len(db), threshold)
+        return config, threshold, root
+
+    def test_partition_is_disjoint_and_complete(self, tiny_db):
+        config, threshold, root = self._root(tiny_db)
+        tasks = plan_shards(root, config, threshold, 3)
+        seen = [c for t in tasks for c, _ in t.candidates]
+        assert sorted(seen) == sorted(root)
+        assert len(seen) == len(set(seen))
+
+    def test_no_empty_shards(self, tiny_db):
+        config, threshold, root = self._root(tiny_db)
+        tasks = plan_shards(root, config, threshold, len(root) + 10)
+        assert len(tasks) == len(root)
+        assert all(task.candidates for task in tasks)
+
+    def test_empty_root_plans_no_tasks(self, tiny_db):
+        config, threshold, _ = self._root(tiny_db)
+        assert plan_shards({}, config, threshold, 4) == []
+
+    def test_invalid_shard_count(self, tiny_db):
+        config, threshold, root = self._root(tiny_db)
+        with pytest.raises(ValueError, match="num_shards"):
+            plan_shards(root, config, threshold, 0)
+
+
+class TestPickling:
+    def test_miner_config_round_trips(self):
+        config = MinerConfig(
+            min_sup=0.25, mode="htp", max_span=9.5, max_size=4
+        )
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_shard_task_round_trips(self, tiny_db):
+        config = MinerConfig(min_sup=0.3)
+        miner = PTPMiner.from_config(config)
+        threshold = float(tiny_db.absolute_support(0.3))
+        _, _, root = miner.plan_root(
+            tiny_db, [1.0] * len(tiny_db), threshold
+        )
+        for task in plan_shards(root, config, threshold, 2):
+            clone = pickle.loads(pickle.dumps(task))
+            assert clone == task
+            assert clone.candidate_map() == task.candidate_map()
+
+    def test_pattern_with_support_round_trips(self, tiny_db):
+        result = PTPMiner(min_sup=0.4).mine(tiny_db)
+        assert result.patterns  # the test is vacuous otherwise
+        for item in result.patterns:
+            assert pickle.loads(pickle.dumps(item)) == item
+
+
+class TestObsMerge:
+    def test_shard_metrics_absorbed_with_prefix(self, tiny_db):
+        with obs_metrics.use_registry() as registry:
+            mine_sharded(
+                tiny_db,
+                MinerConfig(min_sup=0.3),
+                workers=2,
+                executor="serial",
+            )
+        snapshot = registry.snapshot()
+        shard_keys = [
+            key
+            for key in snapshot["counters"]
+            if key.startswith("shard.")
+        ]
+        assert shard_keys, snapshot["counters"].keys()
+
+    def test_trace_stays_one_well_formed_tree(self, tiny_db):
+        collector = obs_trace.TraceCollector()
+        with obs_trace.use_tracer(collector):
+            mine_sharded(
+                tiny_db,
+                MinerConfig(min_sup=0.3),
+                workers=2,
+                executor="serial",
+            )
+        begins = [ev for ev in collector.events if ev["ev"] == "B"]
+        own = {ev["span"] for ev in begins}
+        shard_spans = [
+            ev
+            for ev in begins
+            if isinstance(ev["span"], str) and ev["span"].startswith("shard")
+        ]
+        assert shard_spans, "no shard spans were re-emitted"
+        # Every parent link resolves inside this trace (or is a root).
+        for ev in begins:
+            assert ev["parent"] is None or ev["parent"] in own
+
+    def test_engine_emits_its_own_phases(self, tiny_db):
+        collector = obs_trace.TraceCollector()
+        with obs_trace.use_tracer(collector):
+            mine_sharded(
+                tiny_db,
+                MinerConfig(min_sup=0.4),
+                workers=2,
+                executor="serial",
+            )
+        names = set(collector.span_names())
+        assert {"mine", "plan_root", "shards", "merge"} <= names
+
+
+class TestShardedMiner:
+    def test_satisfies_miner_protocol(self):
+        from repro.miners import Miner
+
+        miner = ShardedMiner(min_sup=0.3, workers=2)
+        assert isinstance(miner, Miner)
+        assert miner.config.min_sup == 0.3
+
+    def test_mine_matches_ptpminer(self, tiny_db):
+        config = MinerConfig(min_sup=0.3)
+        serial = PTPMiner.from_config(config).mine(tiny_db)
+        sharded = ShardedMiner.from_config(config, workers=2,
+                                           executor="serial").mine(tiny_db)
+        assert_identical(sharded, serial)
+
+    def test_config_and_kwargs_are_exclusive(self):
+        with pytest.raises(TypeError, match="not both"):
+            ShardedMiner(config=MinerConfig(min_sup=0.3), mode="htp")
+
+    def test_rejects_bad_workers_and_executor(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardedMiner(min_sup=0.3, workers=0)
+        with pytest.raises(ValueError, match="executor"):
+            ShardedMiner(min_sup=0.3, executor="greenlets")
+
+
+class TestMineConvenience:
+    def test_workers_routes_through_engine(self, tiny_db):
+        serial = mine(tiny_db, 0.3)
+        parallel = mine(tiny_db, 0.3, workers=2)
+        assert parallel.patterns == serial.patterns
+        assert parallel.counters == serial.counters
+        assert parallel.params["workers"] == 2
+
+    def test_config_object_accepted(self, tiny_db):
+        config = MinerConfig(min_sup=0.3)
+        assert mine(tiny_db, config=config).patterns == mine(
+            tiny_db, 0.3
+        ).patterns
+
+    def test_config_and_kwargs_are_exclusive(self, tiny_db):
+        with pytest.raises(TypeError, match="not both"):
+            mine(tiny_db, 0.3, config=MinerConfig(min_sup=0.3))
+
+    def test_unknown_kwarg_fails_eagerly(self, tiny_db):
+        with pytest.raises(TypeError, match="min_supp"):
+            mine(tiny_db, min_supp=0.3)
+
+
+class TestProcessExecutorIsolation:
+    def test_worker_obs_does_not_leak_into_parent_files(self, tiny_db):
+        """Process workers ship obs home instead of writing anywhere."""
+        with obs_metrics.use_registry() as registry:
+            result = mine_sharded(
+                tiny_db,
+                MinerConfig(min_sup=0.4),
+                workers=2,
+                executor="process",
+            )
+        snapshot = registry.snapshot()
+        assert any(
+            key.startswith("shard.") for key in snapshot["counters"]
+        )
+        assert result.params["executor"] == "process"

@@ -1,0 +1,90 @@
+"""Tests for the unified Miner API (:mod:`repro.miners`)."""
+
+import pytest
+
+from repro import miners
+from repro.core.config import MinerConfig
+from repro.datagen import standard_dataset
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    return standard_dataset("tiny")
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert miners.available() == (
+            "bruteforce", "hdfs", "ieminer", "ptpminer", "tprefixspan",
+        )
+
+    def test_get_returns_working_factory(self, tiny_db):
+        factory = miners.get("ptpminer")
+        result = factory(MinerConfig(min_sup=0.4)).mine(tiny_db)
+        assert result.patterns
+
+    def test_get_unknown_names_the_known_miners(self):
+        with pytest.raises(ValueError, match="unknown miner 'nope'"):
+            miners.get("nope")
+
+    def test_register_refuses_silent_overwrite(self):
+        with pytest.raises(ValueError, match="already registered"):
+            miners.register("ptpminer", miners.get("ptpminer"))
+
+    def test_register_and_replace_roundtrip(self):
+        original = miners.get("ptpminer")
+        sentinel = lambda config: original(config)  # noqa: E731
+        miners.register("ptpminer", sentinel, replace=True)
+        try:
+            assert miners.get("ptpminer") is sentinel
+        finally:
+            miners.register("ptpminer", original, replace=True)
+
+    def test_every_builtin_satisfies_the_protocol(self):
+        for name in miners.available():
+            built = miners.build(name, min_sup=0.4)
+            assert isinstance(built, miners.Miner), name
+            assert built.config.min_sup == 0.4
+
+
+class TestBuild:
+    def test_kwargs_build_a_config(self, tiny_db):
+        miner = miners.build("ptpminer", min_sup=0.4, mode="htp")
+        assert miner.config.mode == "htp"
+
+    def test_config_and_kwargs_are_exclusive(self):
+        with pytest.raises(TypeError, match="not both"):
+            miners.build(
+                "ptpminer", MinerConfig(min_sup=0.4), mode="htp"
+            )
+
+    def test_unknown_kwarg_fails_eagerly(self):
+        with pytest.raises(TypeError):
+            miners.build("ptpminer", minimum_support=0.4)
+
+    def test_unsupported_option_rejected_per_miner(self):
+        # IEMiner has no max_span path; the config-level gate catches it
+        # at build time instead of silently ignoring the option.
+        with pytest.raises(ValueError, match="IEMiner"):
+            miners.build("ieminer", min_sup=0.4, max_span=5.0)
+
+    def test_workers_routes_ptpminer_to_the_engine(self, tiny_db):
+        from repro.engine import ShardedMiner
+
+        miner = miners.build("ptpminer", min_sup=0.4, workers=2)
+        assert isinstance(miner, ShardedMiner)
+        serial = miners.build("ptpminer", min_sup=0.4).mine(tiny_db)
+        assert miner.mine(tiny_db).patterns == serial.patterns
+
+    def test_explicit_executor_also_routes_to_engine(self):
+        from repro.engine import ShardedMiner
+
+        miner = miners.build("ptpminer", min_sup=0.4, executor="serial")
+        assert isinstance(miner, ShardedMiner)
+
+    @pytest.mark.parametrize(
+        "name", ["tprefixspan", "hdfs", "ieminer", "bruteforce"]
+    )
+    def test_baselines_reject_workers(self, name):
+        with pytest.raises(ValueError, match="only supported"):
+            miners.build(name, min_sup=0.4, workers=2)

@@ -129,3 +129,64 @@ def test_sequence_order_does_not_matter(db):
     assert PTPMiner(0.25).mine(db).as_dict() == PTPMiner(0.25).mine(
         reversed_db
     ).as_dict()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    db=interval_db_st,
+    workers=st.sampled_from([2, 3, 4]),
+    max_span=st.sampled_from([None, 6.0]),
+)
+def test_sharded_engine_equals_serial_tp(db, workers, max_span):
+    """The engine's determinism guarantee, on arbitrary interval input:
+    sorted patterns, supports, and counters all match the sequential
+    miner for any worker count, with and without a span constraint."""
+    from repro.core.config import MinerConfig
+    from repro.engine import mine_sharded
+
+    config = MinerConfig(min_sup=0.25, max_span=max_span)
+    serial = PTPMiner.from_config(config).mine(db)
+    sharded = mine_sharded(db, config, workers=workers, executor="serial")
+    assert sharded.patterns == serial.patterns
+    assert sharded.counters == serial.counters
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=db_st, workers=st.sampled_from([2, 4]))
+def test_sharded_engine_equals_serial_htp(db, workers):
+    """Same guarantee in hybrid mode, where point events survive into
+    the endpoint encoding."""
+    from repro.core.config import MinerConfig
+    from repro.engine import mine_sharded
+
+    config = MinerConfig(min_sup=0.25, mode="htp")
+    serial = PTPMiner.from_config(config).mine(db)
+    sharded = mine_sharded(db, config, workers=workers, executor="serial")
+    assert sharded.patterns == serial.patterns
+    assert sharded.counters == serial.counters
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**16), workers=st.sampled_from([2, 3]))
+def test_sharded_engine_on_randomized_synthetic_dbs(seed, workers):
+    """Serial/sharded agreement on the library's own generator output
+    (hybrid databases with point events, mined in htp mode)."""
+    from repro.core.config import MinerConfig
+    from repro.datagen.synthetic import SyntheticConfig, SyntheticGenerator
+    from repro.engine import mine_sharded
+
+    db = SyntheticGenerator(
+        SyntheticConfig(
+            num_sequences=12,
+            avg_events=5,
+            num_labels=4,
+            point_fraction=0.3,
+            seed=seed,
+            name=f"prop-{seed}",
+        )
+    ).generate()
+    config = MinerConfig(min_sup=0.25, mode="htp")
+    serial = PTPMiner.from_config(config).mine(db)
+    sharded = mine_sharded(db, config, workers=workers, executor="serial")
+    assert sharded.patterns == serial.patterns
+    assert sharded.counters == serial.counters

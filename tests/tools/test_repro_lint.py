@@ -393,3 +393,63 @@ def test_repo_is_lint_clean():
     """The gate the CI runs: the shipped tree has zero violations."""
     root = Path(__file__).resolve().parents[2]
     assert main([str(root / "src"), str(root / "tests")]) == 0
+
+
+# ---------------------------------------------------------------------------
+# R008 — process pools outside repro.engine
+# ---------------------------------------------------------------------------
+
+def test_r008_flags_pool_construction_outside_engine():
+    direct = """
+        __all__: list[str] = []
+        from concurrent.futures import ProcessPoolExecutor
+
+        def _run():
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                return pool
+    """
+    attribute = """
+        __all__: list[str] = []
+        import concurrent.futures
+
+        def _run():
+            return concurrent.futures.ProcessPoolExecutor()
+    """
+    assert codes(direct, "src/repro/core/demo.py") == ["R008"]
+    assert codes(attribute, "src/repro/harness/demo.py") == ["R008"]
+
+
+def test_r008_allows_the_engine_and_tests():
+    snippet = """
+        __all__: list[str] = []
+        from concurrent.futures import ProcessPoolExecutor
+
+        def _run():
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                return pool
+    """
+    assert codes(snippet, "src/repro/engine.py") == []
+    assert codes(snippet, "tests/test_demo.py") == []
+
+
+def test_r008_ignores_bare_references():
+    # Passing the class around (e.g. as a type annotation or a mock
+    # target) is fine; only construction is fenced.
+    snippet = """
+        __all__: list[str] = []
+        from concurrent.futures import ProcessPoolExecutor
+
+        _POOL_TYPE = ProcessPoolExecutor
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+def test_r008_suppressible():
+    snippet = """
+        __all__: list[str] = []
+        from concurrent.futures import ProcessPoolExecutor
+
+        def _run():
+            return ProcessPoolExecutor()  # repro-lint: ignore[R008]
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == []

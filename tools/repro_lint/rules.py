@@ -1,4 +1,4 @@
-"""The repro-specific lint rules (R001–R007).
+"""The repro-specific lint rules (R001–R008).
 
 Each rule is a small object with a ``code``, a one-line ``summary``, and
 a ``check(ctx)`` generator yielding :class:`Violation` objects. Scoping
@@ -24,6 +24,7 @@ __all__ = [
     "WallClockRule",
     "TimeImportRule",
     "ProfilingImportRule",
+    "ProcessPoolRule",
 ]
 
 #: Module that owns canonical Endpoint construction (exempt from R001).
@@ -56,6 +57,9 @@ _NO_PROFILING_PREFIXES = ("repro.core", "repro.baselines")
 _PROFILING_MODULES = frozenset(
     {"cProfile", "profile", "pstats", "tracemalloc"}
 )
+
+#: The one module allowed to construct a process pool (R008).
+_ENGINE_MODULE = "repro.engine"
 
 
 class Rule(Protocol):
@@ -479,6 +483,41 @@ class ProfilingImportRule:
                 )
 
 
+class ProcessPoolRule:
+    """R008 — process pools may only be built by :mod:`repro.engine`.
+
+    The sharded engine is the single owner of worker-process lifecycle:
+    it silences inherited observability handles in the pool initializer,
+    ships the database once per worker, and merges per-shard results so
+    the determinism guarantee (and the exact-counter perf gate) holds.
+    A ``ProcessPoolExecutor`` constructed anywhere else would bypass all
+    of that — route parallelism through
+    :func:`repro.engine.mine_sharded` / :class:`repro.engine.ShardedMiner`
+    instead. Tests are exempt; a deliberate exception is declared inline
+    with ``# repro-lint: ignore[R008]``.
+    """
+
+    code = "R008"
+    summary = "ProcessPoolExecutor built outside repro.engine"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag ``ProcessPoolExecutor(...)`` calls outside the engine."""
+        if ctx.is_test or ctx.module == _ENGINE_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _called_name(node) == "ProcessPoolExecutor"
+            ):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    "ProcessPoolExecutor built outside repro.engine; "
+                    "route parallel mining through repro.engine "
+                    "(mine_sharded / ShardedMiner)",
+                )
+
+
 #: The registry the engine runs, in code order.
 ALL_RULES: tuple[Rule, ...] = (
     EndpointConstructionRule(),
@@ -488,4 +527,5 @@ ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
     TimeImportRule(),
     ProfilingImportRule(),
+    ProcessPoolRule(),
 )
