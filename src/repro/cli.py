@@ -12,6 +12,10 @@ Subcommands
     Performance baselines: ``perf run|compare|update-baseline ...`` is
     forwarded verbatim to :mod:`repro.perf.cli` (same as
     ``python -m repro.perf``).
+``report``
+    Join a run's span trace, metrics snapshot, and ``--live-log`` frame
+    log into one markdown (or JSON) run report: phase table, shard
+    utilization/imbalance, prune funnel, straggler callouts.
 
 Observability
 -------------
@@ -25,6 +29,10 @@ global ``--log-level`` configures the standard-library logging root.
 ``python -m repro.obs.profile``) plus ``BASE.folded`` collapsed stacks
 for flamegraph tooling; ``--profile-out BASE`` picks the base path
 (default ``profile``). Profiling inflates the reported runtime.
+``--live`` streams per-shard progress lanes with an ETA and straggler
+callouts to stderr during the run (sharded engine; see
+:mod:`repro.obs.live`); ``--live-log FILE`` additionally appends every
+heartbeat frame as JSONL for ``ptpminer report``.
 
 Examples
 --------
@@ -34,6 +42,8 @@ Examples
     ptpminer mine sparse.txt --min-sup 0.05 --top 20
     ptpminer mine sparse.txt --min-sup 0.05 --miner tprefixspan --out pats.txt
     ptpminer mine sparse.txt --metrics-out metrics.json --trace trace.jsonl
+    ptpminer mine sparse.txt --workers 4 --live --live-log frames.jsonl
+    ptpminer report --trace trace.jsonl --live-log frames.jsonl
     ptpminer stats sparse.txt
 """
 
@@ -125,8 +135,13 @@ def _build_miner(args: argparse.Namespace) -> miners.Miner:
         max_size=args.max_size,
         max_span=args.max_span,
     )
+    executor = args.executor
+    if _live_requested(args) and args.workers == 1 and executor == "auto":
+        # Live mode needs the sharded engine even single-worker; the
+        # serial executor is the identical-result in-process path.
+        executor = "serial"
     return miners.build(
-        args.miner, config, workers=args.workers, executor=args.executor
+        args.miner, config, workers=args.workers, executor=executor
     )
 
 
@@ -153,6 +168,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _live_requested(args: argparse.Namespace) -> bool:
+    """True when ``mine`` should run with the live telemetry bus on."""
+    return bool(getattr(args, "live", False) or getattr(args, "live_log", None))
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     fmt = _infer_format(args.input, args.format)
     db = _READERS[fmt](args.input)
@@ -171,6 +191,15 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print("--top-k does not support --workers/--executor",
               file=sys.stderr)
         return 2
+    if _live_requested(args):
+        if args.miner != "ptpminer":
+            print("--live/--live-log require the ptpminer miner",
+                  file=sys.stderr)
+            return 2
+        if args.top_k:
+            print("--live/--live-log do not support --top-k",
+                  file=sys.stderr)
+            return 2
     try:
         miner = _build_miner(args)
     except (TypeError, ValueError) as exc:
@@ -196,6 +225,15 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             stack.enter_context(
                 obs.progress.use_reporter(
                     obs.ProgressReporter(stream=sys.stderr)
+                )
+            )
+        if _live_requested(args):
+            stack.enter_context(
+                obs.live.use_live(
+                    obs.LiveConfig(
+                        interval_s=args.live_interval,
+                        log_path=args.live_log,
+                    )
                 )
             )
         if args.top_k:
@@ -256,6 +294,36 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.cli import main as perf_main
 
     return perf_main(args.perf_args)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.runreport import build_run_report, render_markdown
+
+    if not (args.trace or args.metrics or args.live_log):
+        print("report needs at least one of --trace/--metrics/--live-log",
+              file=sys.stderr)
+        return 2
+    try:
+        report = build_run_report(
+            trace_path=args.trace,
+            metrics_path=args.metrics,
+            live_log_path=args.live_log,
+            straggler_factor=args.straggler_factor,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    else:
+        text = render_markdown(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote run report to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -346,6 +414,17 @@ def build_parser() -> argparse.ArgumentParser:
     mine_p.add_argument("--profile-out", metavar="BASE", default=None,
                         help="base path for profile outputs "
                              "(implies --profile)")
+    mine_p.add_argument("--live", action="store_true",
+                        help="stream per-shard progress lanes, ETA, and "
+                             "straggler callouts to stderr during the run "
+                             "(ptpminer only)")
+    mine_p.add_argument("--live-log", metavar="FILE", default=None,
+                        help="append every live heartbeat frame as JSONL "
+                             "for 'ptpminer report' (implies --live)")
+    mine_p.add_argument("--live-interval", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="throttle between live heartbeats/renders "
+                             "(default 0.5)")
     mine_p.set_defaults(func=_cmd_mine)
 
     stats_p = sub.add_parser("stats", help="describe a database file")
@@ -363,6 +442,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to 'python -m repro.perf'",
     )
     perf_p.set_defaults(func=_cmd_perf)
+
+    report_p = sub.add_parser(
+        "report",
+        help="unified run report from a trace, metrics snapshot, "
+             "and/or live-frame log",
+    )
+    report_p.add_argument("--trace", metavar="FILE", default=None,
+                          help="JSONL span trace (mine --trace)")
+    report_p.add_argument("--metrics", metavar="FILE", default=None,
+                          help="metrics snapshot JSON (mine --metrics-out)")
+    report_p.add_argument("--live-log", metavar="FILE", default=None,
+                          help="live frame log (mine --live-log)")
+    report_p.add_argument("--json", action="store_true",
+                          help="emit the report as JSON instead of markdown")
+    report_p.add_argument("--out", metavar="FILE", default=None,
+                          help="write the report here instead of stdout")
+    report_p.add_argument("--straggler-factor", type=float, default=0.5,
+                          metavar="K",
+                          help="straggler rule: lane throughput < K x "
+                               "median (default 0.5)")
+    report_p.set_defaults(func=_cmd_report)
     return parser
 
 

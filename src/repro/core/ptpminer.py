@@ -395,6 +395,10 @@ class PTPMiner:
         weights: Sequence[float],
         threshold: float,
         candidates: RootCandidates,
+        *,
+        on_root: Optional[
+            Callable[[int, int, int, dict[str, int]], None]
+        ] = None,
     ) -> tuple[list[PatternWithSupport], PruneCounters]:
         """Expand a shard of root candidates: the worker half of sharding.
 
@@ -405,20 +409,48 @@ class PTPMiner:
         point pruning and root-node accounting — both already accounted
         by the parent — and returns this shard's unsorted patterns plus
         its share of the counters.
+
+        ``on_root`` is the live-telemetry hook
+        (:mod:`repro.obs.live`): when given, it is invoked after each
+        root candidate's subtree completes with ``(roots_done,
+        roots_total, patterns_found, cumulative_counter_totals)``. The
+        candidates are then expanded one :meth:`_search` call each — in
+        the same canonical sorted order the single-call search uses, and
+        subtree accounting is independent across root candidates, so
+        patterns and counters stay bit-for-bit identical to the
+        ``on_root=None`` fast path (which itself is byte-identical to
+        the pre-live code: one branch on a ``None``).
         """
         counters = PruneCounters()
         _, encoded, pairs = self._prepare(
             mining_db, weights, threshold, counters, point_prune=False
         )
         with obs_trace.span("search", shard_candidates=len(candidates)):
-            patterns = self._search(
-                encoded,
-                weights,
-                [float(threshold)],
-                pairs,
-                counters,
-                root_candidates=candidates,
-            )
+            if on_root is None:
+                patterns = self._search(
+                    encoded,
+                    weights,
+                    [float(threshold)],
+                    pairs,
+                    counters,
+                    root_candidates=candidates,
+                )
+            else:
+                patterns = []
+                ordered = sorted(candidates)
+                total = len(ordered)
+                for done, cand in enumerate(ordered, start=1):
+                    patterns.extend(
+                        self._search(
+                            encoded,
+                            weights,
+                            [float(threshold)],
+                            pairs,
+                            counters,
+                            root_candidates={cand: candidates[cand]},
+                        )
+                    )
+                    on_root(done, total, len(patterns), counters.as_dict())
         return patterns, counters
 
     def mine_top_k(

@@ -45,15 +45,35 @@ parent:
   ``--trace`` files stay a single well-formed tree;
 * absorbs metrics snapshots under the ``shard.`` prefix
   (:meth:`~repro.obs.metrics.MetricsRegistry.absorb_snapshot`):
-  counters add across shards, histograms merge bound-for-bound.
+  counters add across shards, histograms merge bound-for-bound;
+* records one ``engine.shard_elapsed_s[shard=<i>]`` gauge per shard, so
+  metrics snapshots carry the load-balance picture (the harness's
+  ``shard_imbalance`` column derives from them).
+
+Live telemetry
+--------------
+``mine_sharded(live=...)`` (or an installed
+:func:`repro.obs.live.use_live` scope — what the CLI's ``--live`` and
+the harness's ``collect_live=True`` use) streams worker heartbeats to
+the parent **during** the run over the :mod:`repro.obs.live` bus:
+workers publish throttled frames from a per-root-candidate hook, the
+parent drains them from its result-collection loop (a ``multiprocessing``
+manager queue for the process executor, a direct callback for the
+serial one), and a :class:`~repro.obs.live.LiveAggregator` merges them
+into per-shard lanes with a global ETA and straggler callouts. The bus
+is never constructed unless live mode is requested — the disabled path
+costs one ``None`` check per run.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import queue as _queue
+from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Optional, Sequence, Union
 
 from repro import contracts
 from repro.core.config import MinerConfig
@@ -67,6 +87,7 @@ from repro.core.ptpminer import (
 from repro.model.database import ESequenceDatabase
 from repro.model.pattern import PatternWithSupport
 from repro.obs import clock as obs_clock
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
 from repro.obs import trace as obs_trace
@@ -172,6 +193,8 @@ def _init_worker(
     weights: Sequence[float],
     collect_metrics: bool,
     collect_trace: bool,
+    live_queue: Optional[Any] = None,
+    live_interval: float = 0.5,
 ) -> None:
     """Pool initializer: receive the database once, silence inherited obs.
 
@@ -179,15 +202,22 @@ def _init_worker(
     progress reporter; writing to those copies would be lost at best and
     interleave with the parent's output at worst, so the worker starts
     observability from a clean slate and scopes its own per-shard
-    collectors in :func:`_run_shard`.
+    collectors in :func:`_run_shard`. ``live_queue`` (a manager-queue
+    proxy, present only in live mode) is where the worker's
+    :class:`~repro.obs.live.LiveSink` publishes heartbeat frames.
     """
     obs_trace.set_tracer(None)
     obs_metrics.set_registry(None)
     obs_progress.set_reporter(None)
+    obs_live.set_live(None)
     _WORKER_PAYLOAD["db"] = db
     _WORKER_PAYLOAD["weights"] = list(weights)
     _WORKER_PAYLOAD["collect_metrics"] = collect_metrics
     _WORKER_PAYLOAD["collect_trace"] = collect_trace
+    _WORKER_PAYLOAD["live_publish"] = (
+        None if live_queue is None else live_queue.put
+    )
+    _WORKER_PAYLOAD["live_interval"] = live_interval
 
 
 def _run_shard(task: ShardTask) -> ShardResult:
@@ -204,6 +234,17 @@ def _run_shard(task: ShardTask) -> ShardResult:
         if _WORKER_PAYLOAD["collect_metrics"]
         else None
     )
+    publish = _WORKER_PAYLOAD.get("live_publish")
+    sink = (
+        None
+        if publish is None
+        else obs_live.LiveSink(
+            task.shard,
+            len(task.candidates),
+            publish,
+            min_interval_s=_WORKER_PAYLOAD.get("live_interval", 0.5),
+        )
+    )
     miner = PTPMiner.from_config(task.config)
     started = obs_clock.now()
     with ExitStack() as stack:
@@ -212,7 +253,16 @@ def _run_shard(task: ShardTask) -> ShardResult:
         if collector is not None:
             stack.enter_context(obs_trace.use_tracer(collector))
         patterns, counters = miner.search_shard(
-            db, weights, task.threshold, task.candidate_map()
+            db,
+            weights,
+            task.threshold,
+            task.candidate_map(),
+            on_root=None if sink is None else sink.on_root,
+        )
+    if sink is not None:
+        sink.finish(
+            len(patterns),
+            {k: float(v) for k, v in counters.as_dict().items()},
         )
     elapsed = obs_clock.now() - started
     return ShardResult(
@@ -240,15 +290,50 @@ def _run_process(
     workers: int,
     collect_metrics: bool,
     collect_trace: bool,
+    live_queue: Optional[Any] = None,
+    live_interval: float = 0.5,
+    on_frame: Optional[Callable[[dict[str, Any]], None]] = None,
 ) -> list[ShardResult]:
-    """Run shards on a process pool, shipping the database once per worker."""
+    """Run shards on a process pool, shipping the database once per worker.
+
+    In live mode (``live_queue`` + ``on_frame`` given) the shards are
+    submitted individually and the parent drains heartbeat frames off
+    the queue *while* waiting for results — the telemetry bus needs no
+    extra thread, just this loop's blocking ``get(timeout=...)``.
+    """
     # The one sanctioned process-pool construction site (lint rule R008).
     with ProcessPoolExecutor(
         max_workers=min(workers, len(tasks)),
         initializer=_init_worker,
-        initargs=(db, weights, collect_metrics, collect_trace),
+        initargs=(
+            db,
+            weights,
+            collect_metrics,
+            collect_trace,
+            live_queue,
+            live_interval,
+        ),
     ) as pool:
-        return list(pool.map(_run_shard, tasks))
+        if live_queue is None or on_frame is None:
+            return list(pool.map(_run_shard, tasks))
+        futures = [pool.submit(_run_shard, task) for task in tasks]
+        pending = set(futures)
+        poll_s = max(0.05, live_interval / 2)
+        while pending:
+            try:
+                payload = live_queue.get(timeout=poll_s)
+            except _queue.Empty:
+                pass
+            else:
+                on_frame(payload)
+            pending = {f for f in pending if not f.done()}
+        while True:  # drain whatever arrived after the last result
+            try:
+                payload = live_queue.get_nowait()
+            except _queue.Empty:
+                break
+            on_frame(payload)
+        return [future.result() for future in futures]
 
 
 def _reemit_shard_trace(
@@ -281,12 +366,41 @@ def _reemit_shard_trace(
 # ----------------------------------------------------------------------
 # the engine entry points
 # ----------------------------------------------------------------------
+def _resolve_live(
+    live: Union[None, bool, "obs_live.LiveConfig", "obs_live.LiveCollector"],
+) -> Optional[obs_live.LiveCollector]:
+    """Normalize ``mine_sharded``'s ``live=`` argument to a collector.
+
+    ``None`` defers to the installed :func:`repro.obs.live.use_live`
+    scope (so the CLI and harness can enable live mode without plumbing
+    an argument through every layer); ``False`` forces it off even with
+    a scope installed; ``True`` / a config / a collector turn it on.
+    """
+    if live is None:
+        return obs_live.active_live()
+    if live is False:
+        return None
+    if live is True:
+        return obs_live.LiveCollector()
+    if isinstance(live, obs_live.LiveConfig):
+        return obs_live.LiveCollector(config=live)
+    if isinstance(live, obs_live.LiveCollector):
+        return live
+    raise TypeError(
+        "live must be None, a bool, a LiveConfig, or a LiveCollector; "
+        f"got {type(live).__name__}"
+    )
+
+
 def mine_sharded(
     db: ESequenceDatabase,
     config: MinerConfig,
     *,
     workers: int = 1,
     executor: str = "auto",
+    live: Union[
+        None, bool, "obs_live.LiveConfig", "obs_live.LiveCollector"
+    ] = None,
 ) -> MiningResult:
     """Mine ``db`` with the sharded engine.
 
@@ -294,7 +408,10 @@ def mine_sharded(
     identical to ``PTPMiner.from_config(config).mine(db)`` for every
     ``workers`` value (see the module docstring for why). ``executor``
     is one of :data:`EXECUTORS`; ``"auto"`` picks ``serial`` for one
-    worker and ``process`` otherwise.
+    worker and ``process`` otherwise. ``live`` streams shard telemetry
+    during the run (see the module docstring); the determinism guarantee
+    is unaffected — live mode only changes *when* progress is visible,
+    never what is mined.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -307,6 +424,7 @@ def mine_sharded(
         if executor == "auto"
         else executor
     )
+    collector = _resolve_live(live)
     miner = PTPMiner.from_config(config)
     threshold = float(db.absolute_support(config.min_sup))
     weights = [1.0] * len(db)
@@ -323,41 +441,96 @@ def mine_sharded(
     ):
         mining_db, counters, root = miner.plan_root(db, weights, threshold)
         tasks = plan_shards(root, config, threshold, workers)
-        parent_span = obs_trace.current_span_id()
-        with obs_trace.span("shards", count=len(tasks)):
-            if not tasks:
-                shard_results: list[ShardResult] = []
-            elif resolved == "serial":
-                # In-process: point the payload at this run's data.
-                _init_payload_inline(
-                    mining_db,
-                    weights,
-                    collect_metrics=registry is not None,
-                    collect_trace=tracer is not None,
-                )
-                try:
-                    shard_results = _run_serial(tasks)
-                finally:
-                    _clear_payload()
-            else:
-                shard_results = _run_process(
-                    tasks,
-                    mining_db,
-                    weights,
-                    workers,
-                    collect_metrics=registry is not None,
-                    collect_trace=tracer is not None,
-                )
-        with obs_trace.span("merge", shards=len(shard_results)):
-            patterns: list[PatternWithSupport] = []
-            for result in sorted(shard_results, key=lambda r: r.shard):
-                patterns.extend(result.patterns)
-                counters.merge(result.counters)
-                if tracer is not None:
-                    _reemit_shard_trace(tracer, result, parent_span)
-                if registry is not None and result.metrics:
-                    registry.absorb_snapshot(result.metrics, prefix="shard.")
-            patterns.sort(key=PatternWithSupport.sort_key)
+        aggregator: Optional[obs_live.LiveAggregator] = None
+        on_frame: Optional[Callable[[dict[str, Any]], None]] = None
+        if collector is not None:
+            aggregator = obs_live.LiveAggregator(
+                collector.config,
+                shard_totals={
+                    task.shard: len(task.candidates) for task in tasks
+                },
+            )
+            collector.aggregator = aggregator
+            aggregator.open_log()
+
+            def _on_frame(
+                payload: dict[str, Any],
+                _agg: obs_live.LiveAggregator = aggregator,
+            ) -> None:
+                _agg.ingest(payload)
+                _agg.maybe_render()
+
+            on_frame = _on_frame
+        manager: Optional[Any] = None
+        try:
+            parent_span = obs_trace.current_span_id()
+            with obs_trace.span("shards", count=len(tasks)):
+                if not tasks:
+                    shard_results: list[ShardResult] = []
+                elif resolved == "serial":
+                    # In-process: point the payload at this run's data.
+                    _init_payload_inline(
+                        mining_db,
+                        weights,
+                        collect_metrics=registry is not None,
+                        collect_trace=tracer is not None,
+                        live_publish=on_frame,
+                        live_interval=(
+                            collector.config.interval_s
+                            if collector is not None
+                            else 0.5
+                        ),
+                    )
+                    try:
+                        shard_results = _run_serial(tasks)
+                    finally:
+                        _clear_payload()
+                else:
+                    live_queue: Optional[Any] = None
+                    if on_frame is not None:
+                        # Manager-queue proxies survive the executor's
+                        # pickling initargs; plain mp.Queue does not.
+                        manager = multiprocessing.Manager()
+                        live_queue = manager.Queue()
+                    shard_results = _run_process(
+                        tasks,
+                        mining_db,
+                        weights,
+                        workers,
+                        collect_metrics=registry is not None,
+                        collect_trace=tracer is not None,
+                        live_queue=live_queue,
+                        live_interval=(
+                            collector.config.interval_s
+                            if collector is not None
+                            else 0.5
+                        ),
+                        on_frame=on_frame,
+                    )
+            with obs_trace.span("merge", shards=len(shard_results)):
+                patterns: list[PatternWithSupport] = []
+                for result in sorted(shard_results, key=lambda r: r.shard):
+                    patterns.extend(result.patterns)
+                    counters.merge(result.counters)
+                    if tracer is not None:
+                        _reemit_shard_trace(tracer, result, parent_span)
+                    if registry is not None and result.metrics:
+                        registry.absorb_snapshot(
+                            result.metrics, prefix="shard."
+                        )
+                    if registry is not None:
+                        registry.gauge(
+                            "engine.shard_elapsed_s", shard=result.shard
+                        ).set(result.elapsed)
+                patterns.sort(key=PatternWithSupport.sort_key)
+        finally:
+            if manager is not None:
+                manager.shutdown()
+            if aggregator is not None:
+                aggregator.maybe_render(force=True)
+                aggregator.close_log()
+                if collector is not None:
+                    collector.summary = aggregator.summary()
     if contracts.checking:
         counters.check_consistency()
         miner._oracle_check(db, weights, threshold, patterns)
@@ -392,12 +565,20 @@ def _init_payload_inline(
     *,
     collect_metrics: bool,
     collect_trace: bool,
+    live_publish: Optional[Callable[[dict[str, Any]], None]] = None,
+    live_interval: float = 0.5,
 ) -> None:
-    """Serial-executor payload setup (no obs silencing: same process)."""
+    """Serial-executor payload setup (no obs silencing: same process).
+
+    ``live_publish`` feeds frames straight to the parent aggregator —
+    the serial path has no queue; the callback is invoked inline.
+    """
     _WORKER_PAYLOAD["db"] = db
     _WORKER_PAYLOAD["weights"] = list(weights)
     _WORKER_PAYLOAD["collect_metrics"] = collect_metrics
     _WORKER_PAYLOAD["collect_trace"] = collect_trace
+    _WORKER_PAYLOAD["live_publish"] = live_publish
+    _WORKER_PAYLOAD["live_interval"] = live_interval
 
 
 def _clear_payload() -> None:
@@ -419,6 +600,9 @@ class ShardedMiner:
         *,
         workers: int = 1,
         executor: str = "auto",
+        live: Union[
+            None, bool, "obs_live.LiveConfig", "obs_live.LiveCollector"
+        ] = None,
         config: Optional[MinerConfig] = None,
         **kwargs: Any,
     ) -> None:
@@ -439,6 +623,7 @@ class ShardedMiner:
             )
         self.workers = workers
         self.executor = executor
+        self.live = live
 
     @classmethod
     def from_config(
@@ -447,12 +632,19 @@ class ShardedMiner:
         *,
         workers: int = 1,
         executor: str = "auto",
+        live: Union[
+            None, bool, "obs_live.LiveConfig", "obs_live.LiveCollector"
+        ] = None,
     ) -> "ShardedMiner":
         """Build from a ready-made :class:`MinerConfig`."""
-        return cls(config=config, workers=workers, executor=executor)
+        return cls(config=config, workers=workers, executor=executor, live=live)
 
     def mine(self, db: ESequenceDatabase) -> MiningResult:
         """Mine ``db`` through :func:`mine_sharded`."""
         return mine_sharded(
-            db, self.config, workers=self.workers, executor=self.executor
+            db,
+            self.config,
+            workers=self.workers,
+            executor=self.executor,
+            live=self.live,
         )

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.obs import clock as _obs_clock
+from repro.obs import live as _obs_live
 from repro.obs import metrics as _obs_metrics
 
 __all__ = ["RunMetrics", "measure"]
@@ -34,7 +35,10 @@ class RunMetrics:
     ``workers`` is measurement provenance: how many engine workers the
     measured callable was configured with (1 for sequential runs) —
     sweeps surface it as a column so parallel and serial rows are never
-    conflated.
+    conflated. ``live_summary`` holds the live telemetry bus's final
+    :meth:`~repro.obs.live.LiveAggregator.summary` (per-shard lanes,
+    shard imbalance, stragglers) when ``collect_live=True`` and the
+    measured callable actually ran the sharded engine, else ``None``.
     """
 
     result: Any
@@ -43,6 +47,7 @@ class RunMetrics:
     obs: Optional[dict[str, Any]] = None
     profile: Optional[dict[str, Any]] = None
     workers: int = 1
+    live_summary: Optional[dict[str, Any]] = None
 
     @property
     def peak_mem_mb(self) -> Optional[float]:
@@ -58,6 +63,7 @@ def measure(
     track_memory: bool = True,
     collect_obs: bool = False,
     collect_profile: bool = False,
+    collect_live: bool = False,
     workers: int = 1,
 ) -> RunMetrics:
     """Run ``fn`` once, measuring wall time and peak heap growth.
@@ -70,7 +76,12 @@ def measure(
     ``collect_profile=True`` additionally scopes a per-phase
     :class:`~repro.obs.profile.PhaseProfiler` (memory attribution on iff
     ``track_memory``) and returns its serialised report in
-    :attr:`RunMetrics.profile`.
+    :attr:`RunMetrics.profile`. ``collect_live=True`` scopes a silent
+    (``render=False``) live telemetry collector around the call — if the
+    callable runs :func:`repro.engine.mine_sharded`, the engine streams
+    shard heartbeats into it and :attr:`RunMetrics.live_summary` carries
+    the final lane summary (shard imbalance, stragglers); callables that
+    never hit the engine leave it ``None``.
 
     Measurement hygiene — how the flags interact:
 
@@ -107,7 +118,10 @@ def measure(
 
         with profile_scope(memory=track_memory) as profiler:
             inner = measure(
-                fn, track_memory=track_memory, collect_obs=collect_obs
+                fn,
+                track_memory=track_memory,
+                collect_obs=collect_obs,
+                collect_live=collect_live,
             )
         return RunMetrics(
             inner.result,
@@ -116,16 +130,31 @@ def measure(
             inner.obs,
             profiler.report().as_dict(),
             workers,
+            inner.live_summary,
         )
     if collect_obs:
         with _obs_metrics.use_registry() as registry:
-            inner = measure(fn, track_memory=track_memory)
+            inner = measure(
+                fn, track_memory=track_memory, collect_live=collect_live
+            )
         return RunMetrics(
             inner.result,
             inner.elapsed_s,
             inner.peak_mem_bytes,
             registry.snapshot(),
             workers=workers,
+            live_summary=inner.live_summary,
+        )
+    if collect_live:
+        live_config = _obs_live.LiveConfig(render=False)
+        with _obs_live.use_live(live_config) as live_collector:
+            inner = measure(fn, track_memory=track_memory)
+        return RunMetrics(
+            inner.result,
+            inner.elapsed_s,
+            inner.peak_mem_bytes,
+            workers=workers,
+            live_summary=live_collector.summary,
         )
     if not track_memory:
         started = _obs_clock.now()

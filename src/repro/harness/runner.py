@@ -92,6 +92,7 @@ class ExperimentRunner:
         track_memory: bool = False,
         collect_obs: bool = False,
         collect_profile: bool = False,
+        collect_live: bool = False,
         workers: int = 1,
         extra: dict | None = None,
     ) -> list[dict]:
@@ -110,6 +111,11 @@ class ExperimentRunner:
         :class:`~repro.core.ptpminer.PTPMiner`) and is emitted as a
         ``workers`` row column either way, so speedup sweeps can plot
         runtime against worker count without conflating rows.
+        ``collect_live=True`` scopes a silent live telemetry collector
+        around each run; sharded-engine runs then emit a
+        ``shard_imbalance`` column (max/mean lane busy time, 1.0 =
+        perfectly balanced, ``None`` below two reporting shards) and
+        attach the lane summary under the row's ``"live"`` key.
         """
         new_rows = []
         for spec in miners:
@@ -131,6 +137,7 @@ class ExperimentRunner:
                 track_memory=track_memory,
                 collect_obs=collect_obs,
                 collect_profile=collect_profile,
+                collect_live=collect_live,
                 workers=workers,
             )
             mining = metrics.result
@@ -159,6 +166,14 @@ class ExperimentRunner:
 
                 row["profile_top"] = hottest_function(metrics.profile)
                 row["profile"] = metrics.profile
+            if collect_live:
+                summary = metrics.live_summary
+                row["shard_imbalance"] = (
+                    None if summary is None
+                    else summary["shard_imbalance"]
+                )
+                if summary is not None:
+                    row["live"] = summary
             if extra:
                 row.update(extra)
             self.result.rows.append(row)

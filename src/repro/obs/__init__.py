@@ -18,6 +18,17 @@ Submodules
     a JSON-able snapshot.
 :mod:`repro.obs.progress`
     Throttled search heartbeats (every N nodes or T seconds).
+:mod:`repro.obs.live`
+    Live shard telemetry bus for sharded runs: worker-side
+    :class:`~repro.obs.live.LiveSink` heartbeats, parent-side
+    :class:`~repro.obs.live.LiveAggregator` lanes/ETA/stragglers
+    (CLI ``mine --live``).
+:mod:`repro.obs.chrometrace`
+    Chrome trace-event / Perfetto exporter for JSONL span traces
+    (imported on demand; run as ``python -m repro.obs.chrometrace``).
+:mod:`repro.obs.runreport`
+    Unified run reports joining a trace, metrics snapshot, and live
+    frame log (imported on demand; CLI ``ptpminer report``).
 :mod:`repro.obs.report`
     Renders a snapshot as per-phase / per-depth summary tables
     (imported on demand; run as ``python -m repro.obs.report``).
@@ -47,7 +58,8 @@ from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.obs import clock, metrics, progress, trace
+from repro.obs import clock, live, metrics, progress, trace
+from repro.obs.live import LiveCollector, LiveConfig, use_live
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.progress import ProgressReporter, use_reporter
 from repro.obs.trace import (
@@ -60,18 +72,22 @@ from repro.obs.trace import (
 
 __all__ = [
     "JsonlTraceWriter",
+    "LiveCollector",
+    "LiveConfig",
     "MetricsRegistry",
     "ObsHandles",
     "ProgressReporter",
     "TraceCollector",
     "clock",
     "is_active",
+    "live",
     "metrics",
     "observe",
     "progress",
     "span",
     "trace",
     "traced",
+    "use_live",
     "use_registry",
     "use_reporter",
     "use_tracer",

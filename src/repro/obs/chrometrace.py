@@ -1,0 +1,235 @@
+"""Chrome trace-event / Perfetto exporter for JSONL span traces.
+
+Converts the event stream that :class:`repro.obs.trace.JsonlTraceWriter`
+emits (CLI ``mine --trace FILE``) into the `Chrome trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_,
+loadable in ``chrome://tracing`` or `Perfetto <https://ui.perfetto.dev>`_.
+
+Track layout
+------------
+One process (``pid 0``) with one *track per shard*: the parent run's own
+spans land on the ``main`` track (``tid 0``), and every span the engine
+re-emitted from a worker — span ids of the form ``shard<i>:<id>`` — lands
+on its shard's track (``tid i + 1``), named via ``thread_name`` metadata
+events. Paired ``B``/``E`` events become single complete (``"ph": "X"``)
+events; a ``B`` without an ``E`` (the truncated tail of a killed run)
+becomes a zero-duration event tagged ``"unfinished": true`` rather than
+being dropped.
+
+Timestamps
+----------
+Span timestamps are injectable-clock seconds whose origin differs per
+worker process, so each shard track is rebased: its first event is
+aligned to the start of the parent's dispatching ``shards`` span (global
+origin when absent). Within a track, relative timing is exact.
+
+Run as a module to convert a file::
+
+    python -m repro.obs.chrometrace trace.jsonl trace.chrome.json
+
+then load the output in Perfetto (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.obs.trace import read_trace
+
+__all__ = [
+    "main",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+_SHARD_SPAN = re.compile(r"^shard(\d+):")
+
+#: Event keys that are structural, not span attributes.
+_STRUCTURAL_KEYS = frozenset({"ev", "span", "parent", "name", "ts", "dur"})
+
+
+def _tid_for_span(span_id: object) -> int:
+    """Track id for a span: 0 for the parent run, ``i + 1`` for shard i."""
+    if isinstance(span_id, str):
+        match = _SHARD_SPAN.match(span_id)
+        if match is not None:
+            return int(match.group(1)) + 1
+    return 0
+
+
+def _span_attrs(event: dict[str, Any]) -> dict[str, Any]:
+    """Attribute payload of a begin event (everything non-structural)."""
+    return {
+        key: value
+        for key, value in event.items()
+        if key not in _STRUCTURAL_KEYS
+    }
+
+
+def to_chrome_trace(events: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Convert span events into a Chrome trace-event JSON object.
+
+    Returns the ``{"traceEvents": [...]}`` object-form document (the
+    form that also carries ``displayTimeUnit``). Unknown or malformed
+    events (no ``ev``/``span``) are ignored; unpaired begins become
+    zero-duration events tagged ``"unfinished"``.
+    """
+    begins: dict[object, dict[str, Any]] = {}
+    ends: dict[object, dict[str, Any]] = {}
+    order: list[object] = []
+    for event in events:
+        kind = event.get("ev")
+        span_id = event.get("span")
+        if span_id is None:
+            continue
+        if kind == "B" and span_id not in begins:
+            begins[span_id] = event
+            order.append(span_id)
+        elif kind == "E" and span_id not in ends:
+            ends[span_id] = event
+
+    # Per-track rebasing: shard clocks have their own origins.
+    track_min: dict[int, float] = {}
+    for span_id in order:
+        begin = begins[span_id]
+        ts = begin.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        tid = _tid_for_span(span_id)
+        if tid not in track_min or ts < track_min[tid]:
+            track_min[tid] = float(ts)
+    origin = track_min.get(0, min(track_min.values(), default=0.0))
+    dispatch_ts: Optional[float] = None
+    for span_id in order:
+        begin = begins[span_id]
+        if (
+            _tid_for_span(span_id) == 0
+            and begin.get("name") == "shards"
+            and isinstance(begin.get("ts"), (int, float))
+        ):
+            dispatch_ts = float(begin["ts"])
+            break
+    offsets: dict[int, float] = {}
+    for tid, first in track_min.items():
+        if tid == 0:
+            offsets[tid] = -origin
+        else:
+            anchor = dispatch_ts if dispatch_ts is not None else origin
+            offsets[tid] = (anchor - origin) - first
+
+    trace_events: list[dict[str, Any]] = []
+    tids_seen: set[int] = set()
+    for span_id in order:
+        begin = begins[span_id]
+        ts = begin.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        tid = _tid_for_span(span_id)
+        tids_seen.add(tid)
+        start_us = (float(ts) + offsets.get(tid, 0.0)) * 1e6
+        end = ends.get(span_id)
+        args = _span_attrs(begin)
+        args["span"] = span_id
+        if end is None:
+            duration_us = 0.0
+            args["unfinished"] = True
+        else:
+            duration = end.get("dur")
+            if isinstance(duration, (int, float)):
+                duration_us = float(duration) * 1e6
+            elif isinstance(end.get("ts"), (int, float)):
+                duration_us = (float(end["ts"]) - float(ts)) * 1e6
+            else:
+                duration_us = 0.0
+            if "err" in end:
+                args["err"] = end["err"]
+        trace_events.append(
+            {
+                "name": str(begin.get("name", "?")),
+                "ph": "X",
+                "ts": round(start_us, 3),
+                "dur": round(max(duration_us, 0.0), 3),
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    metadata: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "ptpminer"},
+        }
+    ]
+    for tid in sorted(tids_seen):
+        label = "main" if tid == 0 else f"shard {tid - 1}"
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[dict[str, Any]], path: Union[str, Path]
+) -> dict[str, Any]:
+    """Convert ``events`` and write the Chrome-trace JSON to ``path``."""
+    document = to_chrome_trace(events)
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.obs.chrometrace IN.jsonl OUT.json`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.chrometrace",
+        description="Convert a JSONL span trace (mine --trace) into "
+                    "Chrome trace-event JSON for chrome://tracing or "
+                    "Perfetto.",
+    )
+    parser.add_argument("input", help="JSONL span trace file")
+    parser.add_argument("output", help="Chrome-trace JSON output path")
+    args = parser.parse_args(argv)
+    events = read_trace(args.input)
+    document = write_chrome_trace(events, args.output)
+    spans = sum(1 for ev in document["traceEvents"] if ev["ph"] == "X")
+    tracks = len(
+        {ev["tid"] for ev in document["traceEvents"] if ev["ph"] == "X"}
+    )
+    print(
+        f"wrote {spans} spans on {tracks} track(s) to {args.output} "
+        "(load in https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    import sys
+
+    sys.exit(main())

@@ -198,17 +198,27 @@ class MetricsRegistry:
 
         The merge seam for :mod:`repro.engine`: each shard worker runs
         with a private registry and ships its snapshot home, where the
-        parent absorbs it under a ``shard.`` prefix. Counters add,
-        gauges take the absorbed value (last write wins), histograms are
-        reconstructed bound-for-bound and their counts added. Rendered
-        keys (``name[k=v,...]``) are kept verbatim apart from the
-        prefix, so absorbed metrics stay diffable without re-parsing
-        labels.
+        parent absorbs it under a ``shard.`` prefix. Counters add;
+        colliding gauges keep the **maximum** of all absorbed values —
+        a deterministic merge regardless of shard completion order
+        (under the process executor shards finish in any order, so
+        last-write-wins would make snapshots flap between runs);
+        histograms are reconstructed bound-for-bound and their counts
+        added. Rendered keys (``name[k=v,...]``) are kept verbatim
+        apart from the prefix, so absorbed metrics stay diffable
+        without re-parsing labels.
         """
         for key, value in snapshot.get("counters", {}).items():
             self.counter(prefix + key).inc(float(value))
         for key, value in snapshot.get("gauges", {}).items():
-            self.gauge(prefix + key).set(float(value))
+            gauge_key: _MetricKey = ("gauge", prefix + key, ())
+            existing = self._metrics.get(gauge_key)
+            incoming = float(value)
+            if isinstance(existing, Gauge):
+                if incoming > existing.value:
+                    existing.set(incoming)
+            else:
+                self.gauge(prefix + key).set(incoming)
         for key, data in snapshot.get("histograms", {}).items():
             buckets: Mapping[str, int] = data.get("buckets", {})
             bounds = sorted(

@@ -32,6 +32,7 @@ exception (the exception type name); the exception always propagates.
 from __future__ import annotations
 
 import json
+import warnings
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from functools import wraps
@@ -134,13 +135,37 @@ class JsonlTraceWriter:
 
 
 def read_trace(path: Union[str, Path]) -> list[dict[str, Any]]:
-    """Parse a JSONL trace file back into its event dicts."""
+    """Parse a JSONL trace file back into its event dicts, tolerantly.
+
+    Undecodable lines — typically the truncated tail of a killed run —
+    are skipped with a single :class:`UserWarning` naming the count
+    instead of a crash, so ``ptpminer report`` and the Chrome-trace
+    exporter work on partial traces. Lines that decode to something
+    other than an object are treated the same way.
+    """
     events: list[dict[str, Any]] = []
+    bad = 0
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                bad += 1
+                continue
+            if not isinstance(event, dict):
+                bad += 1
+                continue
+            events.append(event)
+    if bad:
+        warnings.warn(
+            f"{path}: skipped {bad} undecodable trace line(s) "
+            "(truncated or corrupt run?)",
+            UserWarning,
+            stacklevel=2,
+        )
     return events
 
 

@@ -354,3 +354,67 @@ class TestWorkersProvenance:
         specs = [MinerSpec("tprefixspan", lambda s: TPrefixSpanMiner(s))]
         with pytest.raises(ValueError, match="PTPMiner"):
             runner.run_point(db, 0.4, specs, workers=2)
+
+
+class TestCollectLive:
+    def test_measure_attaches_live_summary_for_sharded_runs(self):
+        from repro.engine import ShardedMiner
+
+        db = make_random_db(1, num_sequences=8)
+        miner = ShardedMiner(min_sup=0.4, workers=2, executor="serial")
+        metrics = measure(
+            lambda: miner.mine(db), track_memory=False, collect_live=True
+        )
+        summary = metrics.live_summary
+        assert summary is not None
+        assert summary["roots_done"] == summary["roots_total"]
+        assert summary["frames"] > 0
+
+    def test_live_summary_none_without_a_sharded_run(self):
+        metrics = measure(lambda: 3, track_memory=False, collect_live=True)
+        assert metrics.result == 3
+        assert metrics.live_summary is None
+
+    def test_live_summary_none_by_default(self):
+        assert measure(lambda: 1, track_memory=False).live_summary is None
+
+    def test_collect_live_composes_with_obs_and_profile(self):
+        from repro.engine import ShardedMiner
+
+        db = make_random_db(1, num_sequences=6)
+        miner = ShardedMiner(min_sup=0.4, workers=2, executor="serial")
+        metrics = measure(
+            lambda: miner.mine(db),
+            collect_obs=True,
+            collect_profile=True,
+            collect_live=True,
+        )
+        assert metrics.obs is not None
+        assert metrics.profile is not None
+        assert metrics.live_summary is not None
+
+    def test_run_point_emits_shard_imbalance_column(self):
+        db = make_random_db(1, num_sequences=8)
+        runner = ExperimentRunner("demo")
+        rows = runner.run_point(
+            db, 0.4, [MinerSpec("ptp", lambda ms: PTPMiner(ms))],
+            workers=2, collect_live=True,
+        )
+        row = rows[0]
+        assert row["shard_imbalance"] is not None
+        assert row["live"]["roots_done"] == row["live"]["roots_total"]
+        # The nested summary stays out of rendered tables; the flat
+        # imbalance column stays in.
+        header = runner.result.table().splitlines()[2]
+        assert "shard_imbalance" in header
+        assert " live " not in header
+
+    def test_run_point_imbalance_none_for_serial_runs(self):
+        db = make_random_db(1, num_sequences=6)
+        runner = ExperimentRunner("demo")
+        rows = runner.run_point(
+            db, 0.4, [MinerSpec("ptp", lambda ms: PTPMiner(ms))],
+            collect_live=True,
+        )
+        assert rows[0]["shard_imbalance"] is None
+        assert "live" not in rows[0]

@@ -1,0 +1,120 @@
+"""Tests for the Chrome trace-event exporter (``repro.obs.chrometrace``)."""
+
+import json
+
+import pytest
+
+from repro.obs.chrometrace import main, to_chrome_trace, write_chrome_trace
+
+
+def span_pair(span_id, name, ts, dur, *, parent=None, **attrs):
+    begin = {"ev": "B", "span": span_id, "parent": parent,
+             "name": name, "ts": ts, **attrs}
+    end = {"ev": "E", "span": span_id, "name": name,
+           "ts": ts + dur, "dur": dur}
+    return [begin, end]
+
+
+def complete_events(document):
+    return [ev for ev in document["traceEvents"] if ev["ph"] == "X"]
+
+
+class TestConversion:
+    def test_pairs_become_complete_events_in_microseconds(self):
+        events = span_pair(1, "mine", 10.0, 2.5, sequences=4)
+        document = to_chrome_trace(events)
+        (ev,) = complete_events(document)
+        assert ev["name"] == "mine"
+        assert ev["ph"] == "X"
+        assert ev["ts"] == pytest.approx(0.0)       # rebased to origin
+        assert ev["dur"] == pytest.approx(2.5e6)
+        assert ev["pid"] == 0
+        assert ev["tid"] == 0
+        assert ev["args"]["sequences"] == 4
+        assert ev["args"]["span"] == 1
+
+    def test_one_track_per_shard_with_thread_names(self):
+        events = span_pair(1, "mine", 0.0, 3.0)
+        events += span_pair(2, "shards", 0.5, 2.0, parent=1)
+        events += span_pair("shard0:1", "search", 100.0, 1.0, parent=2)
+        events += span_pair("shard1:1", "search", 200.0, 1.5, parent=2)
+        document = to_chrome_trace(events)
+        by_tid = {}
+        for ev in complete_events(document):
+            by_tid.setdefault(ev["tid"], []).append(ev["name"])
+        assert by_tid == {0: ["mine", "shards"], 1: ["search"],
+                          2: ["search"]}
+        names = {
+            ev["tid"]: ev["args"]["name"]
+            for ev in document["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert names == {0: "main", 1: "shard 0", 2: "shard 1"}
+
+    def test_shard_tracks_rebased_to_dispatch_span(self):
+        # Worker clocks have their own origins (100.0 / 200.0 here);
+        # each shard track must be shifted to start where the parent's
+        # "shards" dispatch span starts.
+        events = span_pair(1, "mine", 0.0, 3.0)
+        events += span_pair(2, "shards", 0.5, 2.0, parent=1)
+        events += span_pair("shard0:1", "search", 100.0, 1.0, parent=2)
+        events += span_pair("shard1:1", "search", 200.0, 1.5, parent=2)
+        document = to_chrome_trace(events)
+        dispatch = next(
+            ev for ev in complete_events(document) if ev["name"] == "shards"
+        )
+        shard_starts = [
+            ev["ts"] for ev in complete_events(document) if ev["tid"] != 0
+        ]
+        assert shard_starts == [pytest.approx(dispatch["ts"])] * 2
+
+    def test_unpaired_begin_becomes_zero_duration_unfinished(self):
+        events = [
+            {"ev": "B", "span": 1, "parent": None, "name": "mine",
+             "ts": 0.0}
+        ]
+        document = to_chrome_trace(events)
+        (ev,) = complete_events(document)
+        assert ev["dur"] == 0.0
+        assert ev["args"]["unfinished"] is True
+
+    def test_error_spans_carry_err_arg(self):
+        events = span_pair(1, "mine", 0.0, 1.0)
+        events[1]["err"] = "ValueError"
+        document = to_chrome_trace(events)
+        (ev,) = complete_events(document)
+        assert ev["args"]["err"] == "ValueError"
+
+    def test_malformed_events_are_skipped(self):
+        events = [
+            {"ev": "B"},                       # no span id
+            {"span": 9, "name": "x"},          # no ev kind
+            *span_pair(1, "ok", 0.0, 1.0),
+        ]
+        document = to_chrome_trace(events)
+        assert [ev["name"] for ev in complete_events(document)] == ["ok"]
+
+    def test_empty_trace_produces_empty_document(self):
+        document = to_chrome_trace([])
+        assert complete_events(document) == []
+        json.dumps(document)
+
+
+class TestCli:
+    def test_write_and_module_cli(self, tmp_path, capsys):
+        source = tmp_path / "trace.jsonl"
+        events = span_pair(1, "mine", 0.0, 1.0)
+        source.write_text(
+            "".join(json.dumps(ev) + "\n" for ev in events)
+        )
+        out = tmp_path / "trace.chrome.json"
+        assert main([str(source), str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "1 spans" in printed
+        document = json.loads(out.read_text())
+        assert len(complete_events(document)) == 1
+
+    def test_write_chrome_trace_returns_document(self, tmp_path):
+        out = tmp_path / "out.json"
+        document = write_chrome_trace(span_pair(1, "mine", 0.0, 1.0), out)
+        assert json.loads(out.read_text()) == document

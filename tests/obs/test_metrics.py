@@ -149,13 +149,39 @@ class TestAbsorbSnapshot:
             parent.absorb_snapshot(worker.snapshot(), prefix="shard.")
         assert parent.snapshot()["counters"]["shard.nodes"] == 7
 
-    def test_gauges_take_absorbed_value(self):
+    def test_gauges_keep_max_of_absorbed_values(self):
         parent = MetricsRegistry()
         parent.gauge("depth").set(2)
         worker = MetricsRegistry()
         worker.gauge("depth").set(9)
         parent.absorb_snapshot(worker.snapshot())
         assert parent.snapshot()["gauges"]["depth"] == 9
+        # A smaller later value must not regress the merged gauge.
+        low = MetricsRegistry()
+        low.gauge("depth").set(1)
+        parent.absorb_snapshot(low.snapshot())
+        assert parent.snapshot()["gauges"]["depth"] == 9
+
+    def test_gauge_merge_is_order_independent(self):
+        # Regression: colliding shard gauges used to be last-write-wins
+        # in arrival order, so process-executor completion order leaked
+        # into snapshots. The max-merge must land on the same value for
+        # every permutation.
+        values = (4.0, 11.0, 7.0)
+        snapshots = []
+        for value in values:
+            worker = MetricsRegistry()
+            worker.gauge("search.max_depth").set(value)
+            snapshots.append(worker.snapshot())
+        merged = []
+        for ordering in (snapshots, snapshots[::-1]):
+            parent = MetricsRegistry()
+            for snapshot in ordering:
+                parent.absorb_snapshot(snapshot, prefix="shard.")
+            merged.append(
+                parent.snapshot()["gauges"]["shard.search.max_depth"]
+            )
+        assert merged == [11, 11]
 
     def test_histograms_merge_bound_for_bound(self):
         parent = MetricsRegistry()

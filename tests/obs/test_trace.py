@@ -1,5 +1,7 @@
 """Tests for span tracing (``repro.obs.trace``)."""
 
+import warnings
+
 import pytest
 
 from repro.obs.clock import ManualClock, clock_scope
@@ -142,6 +144,73 @@ class TestJsonlRoundTrip:
         path = tmp_path / "trace.jsonl"
         path.write_text('{"ev":"B"}\n\n{"ev":"E"}\n')
         assert [e["ev"] for e in read_trace(path)] == ["B", "E"]
+
+    def test_read_trace_tolerates_truncated_tail(self, tmp_path):
+        # A killed run leaves a half-written last line; reports must
+        # still parse the rest, with one warning naming the count.
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"ev":"B","span":1,"name":"mine","ts":0.0}\n'
+            '{"ev":"E","span":1,"name":"mine","ts":1.0,"du'
+        )
+        with pytest.warns(UserWarning, match="skipped 1 undecodable"):
+            events = read_trace(path)
+        assert [e["ev"] for e in events] == ["B"]
+
+    def test_read_trace_tolerates_garbage_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            'not json at all\n'
+            '{"ev":"B","span":1,"name":"mine","ts":0.0}\n'
+            '[1, 2, 3]\n'
+            '"just a string"\n'
+        )
+        with pytest.warns(UserWarning, match="skipped 3 undecodable"):
+            events = read_trace(path)
+        assert len(events) == 1
+        assert events[0]["name"] == "mine"
+
+    def test_read_trace_clean_file_emits_no_warning(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ev":"B","span":1,"name":"mine","ts":0.0}\n')
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(read_trace(path)) == 1
+
+    def test_interleaved_shard_reemission_round_trips(self, tmp_path):
+        # The engine re-emits worker spans as shard<i>:<id> after its
+        # own spans, so a sharded trace interleaves int and string span
+        # ids; the writer/reader must preserve ids, parents, and order.
+        path = tmp_path / "trace.jsonl"
+        shard_events = [
+            {"ev": "B", "span": "shard1:1", "parent": 2,
+             "name": "search", "ts": 0.0},
+            {"ev": "B", "span": "shard0:1", "parent": 2,
+             "name": "search", "ts": 0.1},
+            {"ev": "E", "span": "shard1:1", "name": "search",
+             "ts": 0.4, "dur": 0.4},
+            {"ev": "E", "span": "shard0:1", "name": "search",
+             "ts": 0.9, "dur": 0.8},
+        ]
+        with JsonlTraceWriter.open(path) as writer:
+            writer.emit(
+                {"ev": "B", "span": 2, "parent": None,
+                 "name": "shards", "ts": 0.0}
+            )
+            for event in shard_events:
+                writer.emit(event)
+            writer.emit(
+                {"ev": "E", "span": 2, "name": "shards",
+                 "ts": 1.0, "dur": 1.0}
+            )
+        events = read_trace(path)
+        assert [e["span"] for e in events] == [
+            2, "shard1:1", "shard0:1", "shard1:1", "shard0:1", 2,
+        ]
+        assert all(
+            e["parent"] == 2 for e in events if e.get("ev") == "B"
+            and isinstance(e["span"], str)
+        )
 
 
 class TestInstallation:

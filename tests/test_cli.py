@@ -341,3 +341,89 @@ class TestParallelMining:
         snapshot = json.loads(metrics_path.read_text())
         assert any(key.startswith("shard.")
                    for key in snapshot["counters"])
+
+
+class TestLiveMining:
+    def test_live_output_matches_serial(self, tiny_file, capsys):
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3"]) == 0
+        reference = capsys.readouterr().out.splitlines()[1:]
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--workers", "4", "--live",
+                     "--live-interval", "0"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines()[1:] == reference
+        live_lines = [line for line in captured.err.splitlines()
+                      if line.startswith("[live] roots ")]
+        assert live_lines
+        done = [int(line.split()[2].split("/")[0]) for line in live_lines]
+        assert done == sorted(done)
+
+    def test_live_log_writes_parseable_frames(self, tiny_file, tmp_path,
+                                              capsys):
+        log = tmp_path / "frames.jsonl"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--workers", "2", "--live-log", str(log),
+                     "--live-interval", "0"]) == 0
+        capsys.readouterr()
+        from repro.obs.live import read_live_log
+
+        frames = read_live_log(log)
+        assert frames
+        assert {frame.shard for frame in frames} == {0, 1}
+        assert any(frame.final for frame in frames)
+
+    def test_live_rejected_for_baselines(self, tiny_file, capsys):
+        code = main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--miner", "hdfs", "--live"])
+        assert code == 2
+        assert "--live" in capsys.readouterr().err
+
+    def test_live_rejected_with_top_k(self, tiny_file, capsys):
+        code = main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--top-k", "5", "--live"])
+        assert code == 2
+        assert "--top-k" in capsys.readouterr().err
+
+
+class TestReportSubcommand:
+    @pytest.fixture
+    def artifacts(self, tiny_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        log = tmp_path / "frames.jsonl"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--workers", "2", "--live-log", str(log),
+                     "--live-interval", "0", "--trace", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        return trace, metrics, log
+
+    def test_report_joins_all_sources(self, artifacts, capsys):
+        trace, metrics, log = artifacts
+        assert main(["report", "--trace", str(trace),
+                     "--metrics", str(metrics),
+                     "--live-log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "# ptpminer run report" in out
+        assert "## Phases" in out
+        assert "## Shards" in out
+        assert "## Prune funnel" in out
+
+    def test_report_json_and_out_file(self, artifacts, tmp_path, capsys):
+        trace, _, _ = artifacts
+        out_path = tmp_path / "report.json"
+        assert main(["report", "--trace", str(trace), "--json",
+                     "--out", str(out_path)]) == 0
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert "phases" in report
+
+    def test_report_requires_a_source(self, capsys):
+        assert main(["report"]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_report_missing_file_errors_cleanly(self, tmp_path, capsys):
+        assert main(["report", "--trace",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert capsys.readouterr().err

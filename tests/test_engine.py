@@ -7,6 +7,7 @@ miner's. Everything else (pickling, shard planning, obs merging) exists
 to make that guarantee hold across process boundaries.
 """
 
+import io
 import pickle
 
 import pytest
@@ -22,6 +23,7 @@ from repro.engine import (
     plan_shards,
 )
 from repro.model.database import ESequenceDatabase
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
@@ -295,3 +297,101 @@ class TestProcessExecutorIsolation:
             key.startswith("shard.") for key in snapshot["counters"]
         )
         assert result.params["executor"] == "process"
+
+
+class TestLiveMode:
+    """Streaming telemetry must observe the run without changing it."""
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_live_result_is_bit_for_bit_identical(self, tiny_db, executor):
+        config = MinerConfig(min_sup=0.3)
+        serial = PTPMiner.from_config(config).mine(tiny_db)
+        collector = obs_live.LiveCollector(obs_live.LiveConfig(render=False))
+        sharded = mine_sharded(
+            tiny_db, config, workers=2, executor=executor, live=collector
+        )
+        assert_identical(sharded, serial)
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_collector_summary_covers_every_root(self, tiny_db, executor):
+        collector = obs_live.LiveCollector(obs_live.LiveConfig(render=False))
+        mine_sharded(
+            tiny_db,
+            MinerConfig(min_sup=0.3),
+            workers=2,
+            executor=executor,
+            live=collector,
+        )
+        summary = collector.summary
+        assert summary is not None
+        assert summary["roots_done"] == summary["roots_total"] > 0
+        assert summary["frames"] >= len(summary["shards"]) == 2
+        assert all(lane["final"] for lane in summary["shards"].values())
+
+    def test_scoped_collector_is_picked_up_by_default(self, tiny_db):
+        config = obs_live.LiveConfig(render=False)
+        with obs_live.use_live(config) as collector:
+            mine_sharded(
+                tiny_db, MinerConfig(min_sup=0.3), workers=2,
+                executor="serial",
+            )
+        assert collector.summary is not None
+        assert collector.summary["roots_done"] > 0
+
+    def test_live_false_overrides_installed_scope(self, tiny_db):
+        with obs_live.use_live(obs_live.LiveConfig(render=False)) as scoped:
+            mine_sharded(
+                tiny_db, MinerConfig(min_sup=0.3), workers=2,
+                executor="serial", live=False,
+            )
+        assert scoped.summary is None
+
+    def test_rendered_progress_is_monotonic(self, tiny_db):
+        stream = io.StringIO()
+        config = obs_live.LiveConfig(interval_s=0.0, stream=stream)
+        mine_sharded(
+            tiny_db,
+            MinerConfig(min_sup=0.3),
+            workers=3,
+            executor="serial",
+            live=obs_live.LiveCollector(config),
+        )
+        lines = [
+            line for line in stream.getvalue().splitlines()
+            if line.startswith("[live] roots ")
+        ]
+        assert lines, stream.getvalue()
+        done = [int(line.split()[2].split("/")[0]) for line in lines]
+        assert done == sorted(done)
+        assert "eta" in lines[-1]
+
+    def test_shard_elapsed_gauges_recorded(self, tiny_db):
+        with obs_metrics.use_registry() as registry:
+            mine_sharded(
+                tiny_db,
+                MinerConfig(min_sup=0.3),
+                workers=2,
+                executor="serial",
+                live=obs_live.LiveCollector(
+                    obs_live.LiveConfig(render=False)
+                ),
+            )
+        gauges = registry.snapshot()["gauges"]
+        assert "engine.shard_elapsed_s[shard=0]" in gauges
+        assert "engine.shard_elapsed_s[shard=1]" in gauges
+
+    def test_rejects_unknown_live_value(self, tiny_db):
+        with pytest.raises(TypeError, match="live"):
+            mine_sharded(
+                tiny_db, MinerConfig(min_sup=0.3), workers=2,
+                executor="serial", live="yes",
+            )
+
+    def test_sharded_miner_threads_live_through(self, tiny_db):
+        collector = obs_live.LiveCollector(obs_live.LiveConfig(render=False))
+        miner = ShardedMiner(
+            min_sup=0.3, workers=2, executor="serial", live=collector
+        )
+        result = miner.mine(tiny_db)
+        assert collector.summary is not None
+        assert result.patterns == PTPMiner(min_sup=0.3).mine(tiny_db).patterns

@@ -261,17 +261,28 @@ def test_r006_flags_any_time_import_in_core():
     assert codes(from_import, "src/repro/core/demo.py") == ["R006"]
 
 
-def test_r006_scoped_to_repro_core():
+def test_r006_scoped_to_repro_core_and_obs():
     snippet = """
         __all__: list[str] = []
         import time
     """
-    # Only repro.core must route through repro.obs.clock.
+    # repro.core and repro.obs must route through repro.obs.clock...
+    assert codes(snippet, "src/repro/obs/demo.py") == ["R006"]
+    assert codes(snippet, "src/repro/obs/live.py") == ["R006"]
+    # ...other packages are free.
     assert codes(snippet, "src/repro/temporal/demo.py") == []
     assert codes(snippet, "src/repro/harness/demo.py") == []
-    assert codes(snippet, "src/repro/obs/demo.py") == []
     assert codes(snippet, "tools/demo.py") == []
     assert codes(snippet, "tests/test_demo.py") == []
+
+
+def test_r006_exempts_the_clock_seam():
+    # repro.obs.clock IS the injection seam; it alone may touch time.
+    snippet = """
+        __all__: list[str] = []
+        from time import perf_counter
+    """
+    assert codes(snippet, "src/repro/obs/clock.py") == []
 
 
 def test_r006_allows_similarly_named_modules():
@@ -451,5 +462,77 @@ def test_r008_suppressible():
 
         def _run():
             return ProcessPoolExecutor()  # repro-lint: ignore[R008]
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R009 — multiprocessing queues/pipes outside the telemetry bus + engine
+# ---------------------------------------------------------------------------
+
+def test_r009_flags_mp_primitives_outside_allowed_modules():
+    attribute = """
+        __all__: list[str] = []
+        import multiprocessing
+
+        def _run():
+            return multiprocessing.Queue()
+    """
+    aliased = """
+        __all__: list[str] = []
+        import multiprocessing as mp
+
+        def _run():
+            return mp.Manager()
+    """
+    from_import = """
+        __all__: list[str] = []
+        from multiprocessing import Pipe as make_pipe
+
+        def _run():
+            return make_pipe()
+    """
+    assert codes(attribute, "src/repro/core/demo.py") == ["R009"]
+    assert codes(aliased, "src/repro/harness/demo.py") == ["R009"]
+    assert codes(from_import, "src/repro/obs/demo.py") == ["R009"]
+
+
+def test_r009_allows_the_bus_engine_and_tests():
+    snippet = """
+        __all__: list[str] = []
+        import multiprocessing
+
+        def _run():
+            return multiprocessing.SimpleQueue()
+    """
+    assert codes(snippet, "src/repro/obs/live.py") == []
+    assert codes(snippet, "src/repro/engine.py") == []
+    assert codes(snippet, "tests/test_demo.py") == []
+
+
+def test_r009_ignores_unrelated_names():
+    # Same-named callables from other modules, bare references, and
+    # non-primitive multiprocessing attributes must not trip the rule.
+    snippet = """
+        __all__: list[str] = []
+        import multiprocessing
+        from queue import Queue
+
+        def _run():
+            local = Queue()
+            count = multiprocessing.cpu_count()
+            kind = multiprocessing.Queue
+            return (local, count, kind)
+    """
+    assert codes(snippet, "src/repro/core/demo.py") == []
+
+
+def test_r009_suppressible():
+    snippet = """
+        __all__: list[str] = []
+        import multiprocessing
+
+        def _run():
+            return multiprocessing.Queue()  # repro-lint: ignore[R009]
     """
     assert codes(snippet, "src/repro/core/demo.py") == []

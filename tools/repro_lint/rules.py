@@ -1,4 +1,4 @@
-"""The repro-specific lint rules (R001–R008).
+"""The repro-specific lint rules (R001–R009).
 
 Each rule is a small object with a ``code``, a one-line ``summary``, and
 a ``check(ctx)`` generator yielding :class:`Violation` objects. Scoping
@@ -25,6 +25,7 @@ __all__ = [
     "TimeImportRule",
     "ProfilingImportRule",
     "ProcessPoolRule",
+    "MultiprocessingPrimitiveRule",
 ]
 
 #: Module that owns canonical Endpoint construction (exempt from R001).
@@ -45,9 +46,15 @@ _MUTABLE_FACTORIES = {
 #: Core mining packages where wall-clock reads are banned (R005).
 _CORE_PREFIXES = ("repro.core", "repro.temporal")
 
-#: Package where *any* raw ``time`` import is banned (R006): all core
-#: timing must flow through the injectable ``repro.obs.clock``.
-_OBS_CLOCK_PREFIX = "repro.core"
+#: Packages where *any* raw ``time`` import is banned (R006): all core
+#: and observability timing must flow through the injectable
+#: ``repro.obs.clock`` — including throttle paths in ``repro.obs``
+#: itself, so ``ManualClock`` tests can drive heartbeats.
+_OBS_CLOCK_PREFIXES = ("repro.core", "repro.obs")
+
+#: The one module allowed to touch ``time`` directly (R006): it *is*
+#: the injection seam.
+_CLOCK_MODULE = "repro.obs.clock"
 
 #: Packages where profiling imports are banned (R007): profiling is a
 #: harness concern, installed from outside via ``repro.obs.profile``.
@@ -60,6 +67,15 @@ _PROFILING_MODULES = frozenset(
 
 #: The one module allowed to construct a process pool (R008).
 _ENGINE_MODULE = "repro.engine"
+
+#: Modules allowed to construct multiprocessing queues/pipes (R009):
+#: the live telemetry bus and the engine that wires it to workers.
+_MP_ALLOWED_MODULES = ("repro.obs.live", "repro.engine")
+
+#: ``multiprocessing`` primitives R009 bans elsewhere.
+_MP_PRIMITIVES = frozenset(
+    {"Queue", "SimpleQueue", "JoinableQueue", "Pipe", "Manager"}
+)
 
 
 class Rule(Protocol):
@@ -399,22 +415,30 @@ class WallClockRule:
 
 
 class TimeImportRule:
-    """R006 — no raw ``time`` imports in ``repro.core`` at all.
+    """R006 — no raw ``time`` imports in ``repro.core`` or ``repro.obs``.
 
     The miners' boundary timing goes through the injectable
     :mod:`repro.obs.clock` (so tests can drive a manual clock and traces
     share one time base). A raw ``import time`` in ``repro.core``
-    bypasses that seam — use ``repro.obs.clock.now()`` instead.
-    Stricter than R005: R005 bans only wall-clock ``time.time()`` (and
-    also covers ``repro.temporal``); R006 bans the module import itself.
+    bypasses that seam — use ``repro.obs.clock.now()`` instead. The
+    observability layer itself is held to the same bar: every throttle
+    path (progress heartbeats, the live telemetry bus) must be drivable
+    by :class:`~repro.obs.clock.ManualClock` tests, so only
+    ``repro.obs.clock`` — the seam — may touch ``time``. Stricter than
+    R005: R005 bans only wall-clock ``time.time()`` (and also covers
+    ``repro.temporal``); R006 bans the module import itself.
     """
 
     code = "R006"
-    summary = "raw time import in repro.core (use repro.obs.clock)"
+    summary = "raw time import in repro.core/repro.obs (use repro.obs.clock)"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         """Flag ``import time`` and ``from time import ...``."""
-        if ctx.module is None or not ctx.module.startswith(_OBS_CLOCK_PREFIX):
+        if ctx.module is None or not ctx.module.startswith(
+            _OBS_CLOCK_PREFIXES
+        ):
+            return
+        if ctx.module == _CLOCK_MODULE:
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
@@ -423,15 +447,16 @@ class TimeImportRule:
                         yield ctx.violation(
                             node,
                             self.code,
-                            "raw 'import time' in repro.core; route timing "
-                            "through the injectable repro.obs.clock",
+                            "raw 'import time' in repro.core/repro.obs; "
+                            "route timing through the injectable "
+                            "repro.obs.clock",
                         )
             elif isinstance(node, ast.ImportFrom) and node.module == "time":
                 yield ctx.violation(
                     node,
                     self.code,
-                    "raw 'from time import ...' in repro.core; route "
-                    "timing through the injectable repro.obs.clock",
+                    "raw 'from time import ...' in repro.core/repro.obs; "
+                    "route timing through the injectable repro.obs.clock",
                 )
 
 
@@ -518,6 +543,75 @@ class ProcessPoolRule:
                 )
 
 
+class MultiprocessingPrimitiveRule:
+    """R009 — mp queues/pipes only in :mod:`repro.obs.live` + engine.
+
+    The live telemetry bus and the sharded engine jointly own the one
+    cross-process channel in this codebase (a manager queue shipped to
+    workers through the pool initializer, drained from the result loop).
+    A ``multiprocessing`` ``Queue``/``SimpleQueue``/``JoinableQueue``/
+    ``Pipe``/``Manager`` constructed anywhere else would create a second,
+    unmanaged channel — outside the engine's worker lifecycle, invisible
+    to the zero-cost-when-disabled A/B gate, and a deadlock hazard at
+    interpreter shutdown. Route streaming through the bus
+    (:func:`repro.engine.mine_sharded` ``live=``) instead. Tests are
+    exempt; a deliberate exception is declared inline with
+    ``# repro-lint: ignore[R009]``.
+    """
+
+    code = "R009"
+    summary = (
+        "multiprocessing queue/pipe built outside repro.obs.live/"
+        "repro.engine"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag mp primitive construction outside the allowed modules."""
+        if ctx.is_test or ctx.module in _MP_ALLOWED_MODULES:
+            return
+        mp_aliases: set[str] = set()
+        direct_names: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "multiprocessing":
+                        mp_aliases.add(
+                            alias.asname or alias.name.split(".")[0]
+                        )
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module is not None
+                and node.module.split(".")[0] == "multiprocessing"
+            ):
+                for alias in node.names:
+                    if alias.name in _MP_PRIMITIVES:
+                        direct_names[alias.asname or alias.name] = alias.name
+        if not mp_aliases and not direct_names:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            primitive: str | None = None
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MP_PRIMITIVES
+                and isinstance(func.value, ast.Name)
+                and func.value.id in mp_aliases
+            ):
+                primitive = func.attr
+            elif isinstance(func, ast.Name) and func.id in direct_names:
+                primitive = direct_names[func.id]
+            if primitive is not None:
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    f"multiprocessing.{primitive}(...) outside "
+                    "repro.obs.live/repro.engine; stream through the "
+                    "live telemetry bus (mine_sharded(live=...)) instead",
+                )
+
+
 #: The registry the engine runs, in code order.
 ALL_RULES: tuple[Rule, ...] = (
     EndpointConstructionRule(),
@@ -528,4 +622,5 @@ ALL_RULES: tuple[Rule, ...] = (
     TimeImportRule(),
     ProfilingImportRule(),
     ProcessPoolRule(),
+    MultiprocessingPrimitiveRule(),
 )
