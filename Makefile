@@ -1,14 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help lint typecheck repro-lint test test-contracts check bench \
-	perf perf-check profile
+.PHONY: help lint typecheck repro-lint lint-deep test test-contracts check \
+	bench perf perf-check profile
 
 help:
 	@echo "Targets:"
 	@echo "  lint           ruff check (skipped with a notice if ruff is absent)"
 	@echo "  typecheck      mypy --strict over src/repro (skipped if mypy is absent)"
-	@echo "  repro-lint     project-specific AST lint (always available)"
+	@echo "  repro-lint     project-specific AST lint, per-file rules (fast)"
+	@echo "  lint-deep      full analyzer: graph passes R010+, 30s budget, SARIF out"
 	@echo "  test           tier-1 pytest suite"
 	@echo "  test-contracts tier-1 suite with runtime contracts forced on"
 	@echo "  check          repro-lint + lint + typecheck + test-contracts"
@@ -34,13 +35,21 @@ typecheck:
 repro-lint:
 	$(PYTHON) -m tools.repro_lint src tests
 
+# Deep project-graph analyzer (determinism / boundary / purity /
+# coverage / suppression audit). Blocking in CI; `timeout 30` enforces
+# the documented runtime budget. Also writes the SARIF report.
+lint-deep:
+	timeout 30 $(PYTHON) -m tools.repro_lint --deep src tools tests
+	$(PYTHON) -m tools.repro_lint --deep src tools tests \
+		--format sarif --output repro-lint.sarif
+
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-contracts:
 	REPRO_CONTRACTS=1 $(PYTHON) -m pytest -x -q
 
-check: repro-lint lint typecheck test-contracts
+check: repro-lint lint-deep lint typecheck test-contracts
 
 bench:
 	$(PYTHON) -m pytest benches -q

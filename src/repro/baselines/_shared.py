@@ -130,8 +130,9 @@ class PatternBuilder:
         if ext == I_EXT and self.is_empty:
             return []
         # PatternBuilder is itself a canonical generator: occurrence
-        # numbers come from the builder's own bookkeeping, so raw token
-        # construction is sound here.  # repro-lint: ignore[R001]
+        # numbers come from the builder's own bookkeeping, so the raw
+        # token constructions below are sound (hence the R001
+        # suppressions on each construction line).
         out: list[Endpoint] = []
         for label in labels_start:
             out.append(Endpoint(label, self.next_occ(label), START))  # repro-lint: ignore[R001]

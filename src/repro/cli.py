@@ -16,6 +16,12 @@ Subcommands
     Join a run's span trace, metrics snapshot, and ``--live-log`` frame
     log into one markdown (or JSON) run report: phase table, shard
     utilization/imbalance, prune funnel, straggler callouts.
+``lint``
+    Run the project's static analyzer (``tools/repro_lint``) over the
+    checkout: per-file rules plus, by default, the deep project-graph
+    passes (determinism, engine-boundary shippability, purity,
+    contract coverage, suppression hygiene). ``--format text|sarif|json``
+    selects the report format; see ``docs/static-analysis.md``.
 
 Observability
 -------------
@@ -55,6 +61,7 @@ import logging
 import sys
 from collections.abc import Sequence
 from contextlib import ExitStack
+from pathlib import Path
 
 from repro import miners, obs
 from repro.core.closed import filter_closed, filter_maximal
@@ -326,6 +333,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        from tools.repro_lint import driver as lint_driver
+    except ImportError:
+        # Installed-package runs don't ship tools/; fall back to the
+        # checkout layout (src/repro/cli.py -> repo root).
+        root = Path(__file__).resolve().parents[2]
+        if not (root / "tools" / "repro_lint").is_dir():
+            print("ptpminer lint needs the repo checkout "
+                  "(tools/repro_lint is not importable)", file=sys.stderr)
+            return 2
+        sys.path.insert(0, str(root))
+        from tools.repro_lint import driver as lint_driver
+
+    deep = not args.shallow
+    try:
+        violations = lint_driver.analyze_paths(args.paths, deep=deep)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"ptpminer lint: error: {exc}", file=sys.stderr)
+        return 2
+    report = lint_driver.render(violations, args.format, deep=deep)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"wrote lint report to {args.out}", file=sys.stderr)
+    elif report:
+        print(report)
+    if violations:
+        print(f"ptpminer lint: {len(violations)} finding(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     fmt = _infer_format(args.input, args.format)
     db = _READERS[fmt](args.input)
@@ -463,6 +504,26 @@ def build_parser() -> argparse.ArgumentParser:
                           help="straggler rule: lane throughput < K x "
                                "median (default 0.5)")
     report_p.set_defaults(func=_cmd_report)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="project static analysis (determinism, boundary, purity; "
+             "see docs/static-analysis.md)",
+    )
+    lint_p.add_argument("paths", nargs="*",
+                        default=["src", "tools", "tests"],
+                        help="files or directories, relative to the "
+                             "checkout root (default: src tools tests)")
+    lint_p.add_argument("--shallow", action="store_true",
+                        help="per-file rules only; skip the "
+                             "project-graph passes (R010+)")
+    lint_p.add_argument("--format",
+                        choices=("text", "sarif", "json"),
+                        default="text",
+                        help="report format (default: text)")
+    lint_p.add_argument("--out", metavar="FILE", default=None,
+                        help="write the report here instead of stdout")
+    lint_p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -339,8 +339,9 @@ class LiveAggregator:
         self.config = config if config is not None else LiveConfig()
         self.lanes: dict[int, ShardLane] = {}
         self.frames_ingested = 0
+        # Root totals are ints; their sum is order-independent.
         self._expected_total = (
-            sum(shard_totals.values()) if shard_totals else None
+            sum(shard_totals.values()) if shard_totals else None  # repro-lint: R013
         )
         if shard_totals:
             for shard, total in sorted(shard_totals.items()):
@@ -390,6 +391,16 @@ class LiveAggregator:
         return frame
 
     # -- derived state -------------------------------------------------
+    def _lanes_in_shard_order(self) -> list[ShardLane]:
+        """Lanes in ascending shard id.
+
+        Float accumulations over lanes must iterate this, not
+        ``self.lanes.values()``: lane insertion order follows frame
+        arrival order, which varies run to run, and float addition is
+        not associative.
+        """
+        return [lane for _, lane in sorted(self.lanes.items())]
+
     @property
     def roots_total(self) -> int:
         """Total root candidates across all lanes (plan-time if known)."""
@@ -419,7 +430,7 @@ class LiveAggregator:
         if remaining <= 0:
             return 0.0
         rate = 0.0
-        for lane in self.lanes.values():
+        for lane in self._lanes_in_shard_order():
             lane_rate = lane.rate_roots_per_s
             if lane_rate is not None and not lane.final:
                 rate += lane_rate
@@ -457,7 +468,9 @@ class LiveAggregator:
         """
         stragglers = self.stragglers()
         busies = [
-            lane.busy_s for lane in self.lanes.values() if lane.busy_s > 0
+            lane.busy_s
+            for lane in self._lanes_in_shard_order()
+            if lane.busy_s > 0
         ]
         imbalance: Optional[float] = None
         if len(busies) >= 2:

@@ -188,7 +188,7 @@ class MetricsRegistry:
     ) -> None:
         """Add a mapping of totals (e.g. ``PruneCounters.as_dict()``)
         into same-named counters, optionally prefixed."""
-        for name, value in totals.items():
+        for name, value in sorted(totals.items()):
             self.counter(prefix + name).inc(float(value))
 
     def absorb_snapshot(
@@ -208,9 +208,11 @@ class MetricsRegistry:
         apart from the prefix, so absorbed metrics stay diffable
         without re-parsing labels.
         """
-        for key, value in snapshot.get("counters", {}).items():
+        # Iterate sorted so absorption is insensitive to the producer's
+        # dict insertion order, not just to per-key independence.
+        for key, value in sorted(snapshot.get("counters", {}).items()):
             self.counter(prefix + key).inc(float(value))
-        for key, value in snapshot.get("gauges", {}).items():
+        for key, value in sorted(snapshot.get("gauges", {}).items()):
             gauge_key: _MetricKey = ("gauge", prefix + key, ())
             existing = self._metrics.get(gauge_key)
             incoming = float(value)
@@ -219,7 +221,7 @@ class MetricsRegistry:
                     existing.set(incoming)
             else:
                 self.gauge(prefix + key).set(incoming)
-        for key, data in snapshot.get("histograms", {}).items():
+        for key, data in sorted(snapshot.get("histograms", {}).items()):
             buckets: Mapping[str, int] = data.get("buckets", {})
             bounds = sorted(
                 float(k[3:]) for k in buckets if k.startswith("le_")

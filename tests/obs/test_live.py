@@ -317,3 +317,40 @@ class TestInstallation:
         finally:
             set_live(None)
         assert active_live() is None
+
+
+class TestIngestOrderDeterminism:
+    """Regression: aggregate floats must not depend on frame arrival order.
+
+    Lane insertion order follows frame arrival order, which varies run
+    to run under the process executor. ETA and imbalance accumulate
+    floats across lanes, and float addition is not associative (0.1 +
+    0.2 + 0.3 != 0.3 + 0.2 + 0.1), so the aggregator iterates lanes in
+    shard order (caught by repro-lint R013).
+    """
+
+    @staticmethod
+    def _aggregate(shard_order):
+        agg = LiveAggregator(LiveConfig(render=False))
+        # Lane i: one root done over i/10 seconds of busy time, so the
+        # per-lane rates and busy times are 0.1/0.2/0.3-style floats
+        # whose sums differ bit-for-bit across orderings.
+        for shard in shard_order:
+            agg.ingest(frame(shard, ts=0.0, done=0, total=50))
+            agg.ingest(
+                frame(shard, ts=(shard + 1) / 10.0, done=1, total=50)
+            )
+        return agg
+
+    def test_eta_identical_for_any_arrival_order(self):
+        forward = self._aggregate([0, 1, 2])
+        reversed_ = self._aggregate([2, 1, 0])
+        assert forward.eta_s() == reversed_.eta_s()
+
+    def test_summary_identical_for_any_arrival_order(self):
+        forward = self._aggregate([0, 1, 2])
+        reversed_ = self._aggregate([2, 1, 0])
+        assert forward.summary() == reversed_.summary()
+        assert json.dumps(forward.summary(), sort_keys=False) == json.dumps(
+            reversed_.summary(), sort_keys=False
+        )

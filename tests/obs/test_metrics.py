@@ -211,3 +211,53 @@ class TestAbsorbSnapshot:
         assert parent.snapshot() == {
             "counters": {}, "gauges": {}, "histograms": {},
         }
+
+
+class TestAbsorbOrderDeterminism:
+    """Regression: absorption must not depend on producer dict order.
+
+    Snapshot dicts arrive from workers; their insertion order reflects
+    each worker's execution history. The parent iterates them sorted so
+    the merge is insensitive to that order (repro-lint R013 fences the
+    float accumulations in ``absorb_snapshot``).
+    """
+
+    @staticmethod
+    def _scrambled(snapshot):
+        return {
+            section: dict(reversed(list(mapping.items())))
+            for section, mapping in snapshot.items()
+        }
+
+    def test_scrambled_snapshot_absorbs_identically(self):
+        worker = MetricsRegistry()
+        worker.counter("a").inc(0.1)
+        worker.counter("b").inc(0.2)
+        worker.counter("c").inc(0.3)
+        worker.gauge("peak").set(1.5)
+        worker.histogram("lat", buckets=[1.0]).observe(0.4)
+        snap = worker.snapshot()
+
+        parent_sorted = MetricsRegistry()
+        parent_sorted.absorb_snapshot(snap, prefix="shard.")
+        parent_scrambled = MetricsRegistry()
+        parent_scrambled.absorb_snapshot(
+            self._scrambled(snap), prefix="shard."
+        )
+        assert parent_sorted.snapshot() == parent_scrambled.snapshot()
+
+    def test_absorption_commutes_across_shards(self):
+        shard_a = MetricsRegistry()
+        shard_a.counter("nodes").inc(0.1)
+        shard_a.gauge("peak").set(2.0)
+        shard_b = MetricsRegistry()
+        shard_b.counter("nodes").inc(0.2)
+        shard_b.gauge("peak").set(3.0)
+
+        ab = MetricsRegistry()
+        ab.absorb_snapshot(shard_a.snapshot(), prefix="shard.")
+        ab.absorb_snapshot(shard_b.snapshot(), prefix="shard.")
+        ba = MetricsRegistry()
+        ba.absorb_snapshot(shard_b.snapshot(), prefix="shard.")
+        ba.absorb_snapshot(shard_a.snapshot(), prefix="shard.")
+        assert ab.snapshot() == ba.snapshot()

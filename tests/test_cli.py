@@ -427,3 +427,46 @@ class TestReportSubcommand:
         assert main(["report", "--trace",
                      str(tmp_path / "nope.jsonl")]) == 2
         assert capsys.readouterr().err
+
+
+class TestLintSubcommand:
+    @pytest.fixture
+    def dirty_file(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text('"""Doc."""\n\n\ndef f(x=[]):\n    return x\n')
+        return path
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "src/repro/contracts.py"]) == 0
+        capsys.readouterr()
+
+    def test_findings_exit_one_with_rule_id(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file)]) == 1
+        captured = capsys.readouterr()
+        assert "R002" in captured.out
+        assert "finding(s)" in captured.err
+
+    def test_json_format(self, dirty_file, capsys):
+        import json
+
+        assert main(["lint", str(dirty_file), "--format", "json"]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert findings[0]["code"] == "R002"
+        assert findings[0]["path"] == str(dirty_file)
+
+    def test_sarif_format_to_file(self, dirty_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "lint.sarif"
+        assert main(["lint", str(dirty_file), "--format", "sarif",
+                     "--out", str(out)]) == 1
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "R002"
+
+    def test_shallow_flag_and_missing_path_error(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--shallow"]) == 1
+        capsys.readouterr()
+        assert main(["lint", str(dirty_file.parent / "nope.py")]) == 2
+        assert "error" in capsys.readouterr().err

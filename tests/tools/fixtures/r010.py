@@ -1,0 +1,25 @@
+"""Fixture: R010 — unordered iteration feeding ordered emission.
+
+Linted by the analyzer tests under the synthetic path
+``src/repro/engine.py`` so the production merge seeds
+(``mine_sharded``, ``_reemit_shard_trace``) apply. Lines carrying an
+expect marker must each be reported by exactly this fixture's rule.
+"""
+
+
+def mine_sharded(shard_results: list) -> list:
+    """Seed: emits in the iteration order of a set-derived name."""
+    seen = set(shard_results)
+    out: list = []
+    for item in seen:
+        out.append(item)  # expect: R010
+    ordered: list = []
+    for item in sorted(seen):
+        ordered.append(item)  # sanitized: sorted() iteration is fine
+    return out + ordered
+
+
+def _reemit_shard_trace(events: dict) -> object:
+    """Seed: yields in dict-view order."""
+    for payload in events.values():
+        yield payload  # expect: R010

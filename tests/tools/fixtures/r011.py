@@ -1,0 +1,25 @@
+"""Fixture: R011 — process-global random RNG.
+
+Linted under a synthetic ``src/repro/core/...`` path. The sanctioned
+pattern — an explicit ``random.Random(seed)`` instance — must not be
+flagged.
+"""
+
+import random
+from random import shuffle
+
+
+def jitter() -> float:
+    """Global RNG through the module attribute."""
+    return random.random()  # expect: R011
+
+
+def scramble(items: list) -> None:
+    """Global RNG through a from-import."""
+    shuffle(items)  # expect: R011
+
+
+def sanctioned(seed: int) -> float:
+    """Explicit seeded instance: the approved pattern."""
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,16 @@
+"""Fixture: R012 — id()/hash() in sort keys.
+
+Linted under a synthetic ``src/repro/core/...`` path.
+"""
+
+
+def order(items: list) -> list:
+    """Both spellings of the hazard."""
+    ranked = sorted(items, key=lambda x: id(x))  # expect: R012
+    items.sort(key=lambda x: (hash(x), 0))  # expect: R012
+    return ranked
+
+
+def fine(items: list) -> list:
+    """Keying on stable value fields is the fix."""
+    return sorted(items, key=lambda x: x.name)

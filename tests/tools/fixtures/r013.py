@@ -1,0 +1,22 @@
+"""Fixture: R013 — order-sensitive accumulation over unordered sources.
+
+Linted under the synthetic path ``src/repro/obs/metrics.py`` so the
+production merge seed ``MetricsRegistry.absorb_snapshot`` applies.
+Integral accumulation (``int(...)``, ``len(...)``, int literals) is
+order-independent and must not be flagged.
+"""
+
+
+class MetricsRegistry:
+    """Carrier for the merge-seed method name."""
+
+    def absorb_snapshot(self, snapshot: dict) -> float:
+        """Float accumulation in dict-view order, and sum() over a set."""
+        total = 0.0
+        for _key, value in snapshot.items():
+            total += float(value)  # expect: R013
+        count = 0
+        for _key in snapshot.keys():
+            count += 1  # int literal: exempt
+        weights = {0.1, 0.2, 0.3}
+        return total + sum(weights) + count  # expect: R013

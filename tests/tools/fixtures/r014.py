@@ -1,0 +1,45 @@
+"""Fixture: R014 — engine-boundary shippability.
+
+Linted under the synthetic path ``src/repro/engine.py`` (the only
+module allowed to build process pools). Seeds four distinct failure
+modes: an unfrozen task dataclass, a mutable task field, a lambda in
+``initargs`` and in ``submit``, and a worker writing module state
+outside the ``_WORKER*`` convention.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+_WORKER_CACHE: dict = {}
+_MODULE_STATE: dict = {}
+
+
+@dataclass
+class ShardTask:  # expect: R014
+    """Crosses the pool boundary but is not frozen."""
+
+    shard: int
+    payload: list  # expect: R014
+
+
+def _init_worker(db: object) -> None:
+    """Sanctioned payload slot vs. unsanctioned module state."""
+    _WORKER_CACHE["db"] = db
+    _MODULE_STATE["db"] = db  # expect: R014
+
+
+def _run_shard(task: ShardTask) -> int:
+    """Worker entry; its parameter class is audited transitively."""
+    return task.shard
+
+
+def run(tasks: list) -> list:
+    """Pool construction and dispatch sites."""
+    with ProcessPoolExecutor(
+        max_workers=2,
+        initializer=_init_worker,
+        initargs=(lambda: 1,),  # expect: R014
+    ) as pool:
+        futures = [pool.submit(_run_shard, task) for task in tasks]
+        bad = pool.submit(lambda: 0)  # expect: R014
+        return [future.result() for future in futures] + [bad.result()]

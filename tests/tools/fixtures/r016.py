@@ -1,0 +1,33 @@
+"""Fixture: R016 — entry points lacking contract/span coverage.
+
+Linted under a synthetic ``src/repro/core/...`` path. ``mine`` reaches
+no contract or span marker on any path; ``mine_weighted`` is covered by
+a span, ``mine_top_k`` by a contract check in a callee.
+"""
+
+
+def mine(db: object) -> list:  # expect: R016
+    """No contract, no span, anywhere reachable."""
+    return _search(db)
+
+
+def _search(db: object) -> list:
+    """Marker-free helper."""
+    return []
+
+
+def mine_weighted(db: object, span: object) -> list:
+    """Covered: opens a span directly."""
+    with span("mine_weighted"):
+        return []
+
+
+def mine_top_k(db: object) -> list:
+    """Covered: a reachable callee carries a contract check."""
+    return _checked_search(db)
+
+
+def _checked_search(db: object, check: object = None) -> list:
+    """Carries the contract marker."""
+    check(db is not None, "db required")
+    return []

@@ -1,0 +1,21 @@
+"""Fixture: R017 — suppression hygiene.
+
+Linted under a synthetic ``src/repro/core/...`` path through the full
+driver (rules -> passes -> filtering -> audit), since R017 depends on
+which suppressions actually fired. Covers all four audit findings:
+unused, expired, malformed, and used-but-unscoped.
+"""
+
+UNUSED = 1  # repro-lint: R002              # expect: R017
+EXPIRED = 2  # repro-lint: R005 until=PR1   # expect: R017
+RELATIVE = 3  # repro-lint: R005 until=PR+9  # expect: R017
+
+
+def blanket(x=[]):  # repro-lint: ignore    # expect: R017
+    """Fires R002; the blanket suppression hides it but is unscoped."""
+    return x
+
+
+def scoped(y=[]):  # repro-lint: R002
+    """Fires R002; the scoped suppression is used and stays silent."""
+    return y

@@ -1,0 +1,73 @@
+"""Meta-tests: every lint rule is documented, tested, and fixtured.
+
+Guards the analyzer's own upkeep: a rule added without docs, without a
+test that exercises it, or (for the graph passes) without a seeded
+fixture module fails here, not in review.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from tools.repro_lint.driver import rule_catalog
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS = REPO_ROOT / "docs" / "static-analysis.md"
+TESTS_DIR = REPO_ROOT / "tests" / "tools"
+FIXTURE_DIR = TESTS_DIR / "fixtures"
+
+DEEP_RULES = sorted(
+    code for code in rule_catalog(deep=True) if code >= "R010"
+)
+
+
+def _tests_corpus() -> str:
+    # Fixture modules count: test_analyzer_passes parameterizes over
+    # every fixture and asserts its `# expect:` markers fire exactly.
+    files = [
+        path
+        for path in sorted(TESTS_DIR.glob("test_*.py"))
+        if path.name != "test_meta.py"
+    ] + sorted(FIXTURE_DIR.glob("r*.py"))
+    return "\n".join(path.read_text() for path in files)
+
+
+class TestRuleInventory:
+    def test_catalog_has_no_gaps(self):
+        codes = sorted(rule_catalog(deep=True))
+        numbers = [int(code[1:]) for code in codes]
+        assert numbers == list(range(1, len(codes) + 1))
+
+    def test_every_rule_has_a_nonempty_summary(self):
+        for code, summary in rule_catalog(deep=True).items():
+            assert summary and not summary.endswith("."), code
+
+    def test_every_rule_is_documented(self):
+        docs = DOCS.read_text()
+        for code in rule_catalog(deep=True):
+            assert re.search(rf"\b{code}\b", docs), (
+                f"{code} missing from docs/static-analysis.md"
+            )
+
+    def test_every_rule_is_exercised_by_tests(self):
+        corpus = _tests_corpus()
+        for code in rule_catalog(deep=True):
+            assert re.search(rf"\b{code}\b", corpus), (
+                f"{code} never referenced by a tools test"
+            )
+
+    def test_every_deep_rule_has_a_seeded_fixture(self):
+        for code in DEEP_RULES:
+            fixture = FIXTURE_DIR / f"{code.lower()}.py"
+            assert fixture.is_file(), f"missing fixture for {code}"
+            assert f"# expect: {code}" in fixture.read_text(), (
+                f"{fixture.name} seeds no `# expect: {code}` marker"
+            )
+
+    def test_design_and_docs_cover_the_deep_analyzer(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text()
+        assert "Machine-checked determinism" in design
+        assert "lint-deep" in (REPO_ROOT / "Makefile").read_text()
+        ci = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "--deep" in ci and "sarif" in ci.lower()

@@ -1,0 +1,81 @@
+"""Structural validation of the SARIF 2.1.0 emitter.
+
+The container has no jsonschema package, so this is a hand-rolled check
+of every SARIF 2.1.0 constraint the emitter relies on: top-level
+version/$schema, a single run with a tool driver, a declared rule
+catalog, and results whose ruleIds, messages, and physical locations
+are all well-formed (1-based lines/columns, relative forward-slash
+URIs).
+"""
+
+from __future__ import annotations
+
+import json
+
+from tools.repro_lint.driver import rule_catalog
+from tools.repro_lint.engine import Violation
+from tools.repro_lint.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render_sarif,
+    to_sarif,
+)
+
+SAMPLE = [
+    Violation("src/repro/engine.py", 12, 4, "R010", "unordered iteration"),
+    Violation("src\\repro\\obs\\live.py", 1, 0, "R013", "float accumulation"),
+    Violation("src/repro/core/ptpminer.py", 0, 0, "R015", "cache mutation"),
+]
+
+
+def sample_doc() -> dict:
+    return to_sarif(SAMPLE, rule_catalog(deep=True))
+
+
+class TestSarifStructure:
+    def test_top_level_envelope(self):
+        doc = sample_doc()
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        assert "sarif" in doc["$schema"] and "2.1.0" in doc["$schema"]
+        assert isinstance(doc["runs"], list) and len(doc["runs"]) == 1
+
+    def test_driver_declares_full_rule_catalog(self):
+        doc = sample_doc()
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        declared = {rule["id"] for rule in driver["rules"]}
+        assert declared == set(rule_catalog(deep=True))
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] == "error"
+
+    def test_results_reference_declared_rules(self):
+        doc = sample_doc()
+        run = doc["runs"][0]
+        declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert len(run["results"]) == len(SAMPLE)
+        for result in run["results"]:
+            assert result["ruleId"] in declared
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+
+    def test_locations_are_one_based_and_forward_slashed(self):
+        doc = sample_doc()
+        for result in doc["runs"][0]["results"]:
+            location = result["locations"][0]["physicalLocation"]
+            uri = location["artifactLocation"]["uri"]
+            assert "\\" not in uri and not uri.startswith("/")
+            region = location["region"]
+            # SARIF regions are 1-based; a 0 line/column is invalid.
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_empty_result_set_is_valid(self):
+        doc = to_sarif([], rule_catalog(deep=True))
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"]
+
+    def test_render_round_trips_through_json(self):
+        text = render_sarif(SAMPLE, rule_catalog(deep=True))
+        assert json.loads(text) == sample_doc()

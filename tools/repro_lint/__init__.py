@@ -1,53 +1,51 @@
-"""repro-lint — repo-specific AST lint rules for the P-TPMiner codebase.
+"""repro-lint — repo-specific static analysis for the P-TPMiner codebase.
 
 The generic gates (ruff, mypy) cannot see *domain* invariants, so this
-package checks the handful of repo-specific rules that keep the paper's
-correctness arguments machine-enforced:
+package checks the rules that keep the paper's correctness arguments
+machine-enforced. Two layers:
 
-``R001``
-    No direct ``Endpoint(...)`` construction outside
-    ``repro.temporal.endpoint``. Endpoints must come from the canonical
-    encoder (:func:`repro.temporal.endpoint.endpoint_sequence_of`,
-    :meth:`EncodedDatabase.decode_token`, :meth:`Endpoint.parse`) or be
-    derived from an existing endpoint (``._replace``), so canonical
-    ordering and occurrence numbering cannot be violated by hand-built
-    tokens. Test modules are exempt (fixtures legitimately build raw
-    endpoints to probe validation).
+**Per-file rules (R001–R009)** — one ``FileContext`` at a time:
+``R001`` no hand-built ``Endpoint(...)`` outside the canonical encoder;
+``R002`` no mutable default arguments; ``R003`` public ``src/repro``
+API is fully annotated and documented; ``R004`` ``__all__`` present and
+consistent; ``R005`` no wall-clock time in core mining code; ``R006``
+no raw ``time`` imports in ``repro.core``/``repro.obs`` (the clock seam
+owns it); ``R007`` no profiling imports in mining code; ``R008``
+process pools only in ``repro.engine``; ``R009`` multiprocessing
+primitives only in the telemetry bus and the engine.
 
-``R002``
-    No mutable default arguments (``def f(x=[])`` and friends), anywhere.
+**Project-graph passes (R010–R017)** — deep mode (``--deep``,
+``make lint-deep``), over a module/import/call graph of ``src/repro``:
+``R010`` unordered iteration feeding ordered emission on merge paths;
+``R011`` process-global ``random`` use; ``R012`` ``id()``/``hash()`` in
+sort keys; ``R013`` order-sensitive accumulation over unordered sources
+on merge paths; ``R014`` engine-boundary shippability (frozen picklable
+tasks, module-level worker callables, no hidden worker state); ``R015``
+plan-cache consumers must be inferred-pure readers; ``R016`` mining
+entry points carry contract or span coverage; ``R017`` suppression
+hygiene (unused/expired/malformed/unscoped).
 
-``R003``
-    Every public function, class, and public method in ``src/repro`` has
-    complete type annotations (parameters and return) and a docstring.
-    Dunder methods are exempt.
+Suppressions are rule-scoped and may expire::
 
-``R004``
-    Every module in ``src/repro`` defines ``__all__``, every public
-    top-level function/class appears in it, and every exported name is
-    actually defined in the module.
+    total += x  # repro-lint: R013 until=PR8
+    ep = Endpoint("A", 1, START)  # repro-lint: ignore[R001]   (legacy)
 
-``R005``
-    No wall-clock ``time.time()`` in core mining code paths
-    (``repro.core``, ``repro.temporal``) — timing belongs to the harness
-    and to miner-boundary accounting (``time.perf_counter``).
+``until=PRn`` expires when :data:`CURRENT_PR` reaches ``n``; an ISO
+date (``until=2026-12-31``) expires the day after. Expired or malformed
+suppressions stop suppressing and are reported by R017. See
+``docs/static-analysis.md`` for the full catalog and policy.
 
-Any rule is suppressible on a given line with a trailing comment::
-
-    endpoint = Endpoint("A", 1, START)  # repro-lint: ignore[R001]
-
-``# repro-lint: ignore`` (no code) suppresses every rule on that line;
-``ignore[R001,R003]`` suppresses the listed codes only. The comment must
-sit on the line the violation is reported at (the ``def``/call line).
-
-Run as ``python -m tools.repro_lint src tests`` — exit status 0 means
-clean, 1 means violations (printed one per line), 2 means usage error.
+Run ``python -m tools.repro_lint src tests`` for the fast per-file
+gate, or add ``--deep --format text|json|sarif`` for the full analyzer.
+Exit status 0 means clean, 1 means findings, 2 means usage error.
 """
 
 from __future__ import annotations
 
 from tools.repro_lint.engine import (
+    CURRENT_PR,
     FileContext,
+    Suppression,
     Violation,
     lint_paths,
     lint_source,
@@ -57,8 +55,10 @@ from tools.repro_lint.rules import ALL_RULES, Rule
 
 __all__ = [
     "ALL_RULES",
+    "CURRENT_PR",
     "FileContext",
     "Rule",
+    "Suppression",
     "Violation",
     "lint_paths",
     "lint_source",

@@ -1,10 +1,10 @@
-"""Module entry point: ``python -m tools.repro_lint src tests``."""
+"""Module entry point: ``python -m tools.repro_lint [--deep] src tests``."""
 
 from __future__ import annotations
 
 import sys
 
-from tools.repro_lint.engine import main
+from tools.repro_lint.driver import main
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,338 @@
+"""Per-function dataflow facts for the analyzer passes.
+
+Two families of facts, both computed from a single walk over a function
+body (nested defs included, with parameter shadowing respected):
+
+* **Effects** — which parameters the function mutates directly (attribute
+  / subscript stores, ``del``, mutating method calls), which module-level
+  names it writes, and simple intra-function aliases (``m = param``), so
+  the purity pass can chase mutations through local renames.
+* **Unordered sources** — expressions whose iteration order is not a
+  semantic guarantee: set displays/comprehensions, ``set()`` /
+  ``frozenset()`` calls, and dict views (``.keys()`` / ``.values()`` /
+  ``.items()`` — insertion-ordered, but the insertion order of merge-path
+  dicts depends on shard arrival order). ``sorted(...)`` sanitizes a
+  source; names assigned from unordered expressions (or from
+  list/generator comprehensions over them) are tracked as *derived*
+  unordered, so ``busies = [x for x in s]; sum(busies)`` is still caught.
+
+Everything is a best-effort static approximation: attribute chains
+longer than one hop, reassignment through containers, and cross-function
+aliasing are out of scope and documented as such in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FunctionEffects",
+    "MutationSite",
+    "MUTATING_METHODS",
+    "effects_of",
+    "iter_statements",
+    "unordered_reason",
+    "unordered_names",
+]
+
+#: Method names that mutate their receiver on builtin containers (and,
+#: by convention, on anything else — a project method named ``update``
+#: that is pure should be renamed, not special-cased).
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "appendleft",
+        "extendleft",
+        "popleft",
+        "write",
+        "writelines",
+    }
+)
+
+#: Call names producing unordered collections.
+_UNORDERED_FACTORIES = frozenset({"set", "frozenset"})
+
+#: Attribute calls producing dict views.
+_DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+#: Call names whose result preserves the iteration order of their input
+#: (so a name assigned from them over an unordered source stays tainted).
+_ORDER_PRESERVING = frozenset({"list", "tuple", "reversed", "iter"})
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One direct mutation of a tracked name."""
+
+    name: str
+    node: ast.AST
+    why: str
+
+
+@dataclass
+class FunctionEffects:
+    """Direct effects of one function body."""
+
+    #: tracked-name -> mutation sites (parameters and their aliases are
+    #: folded back to the *parameter* name).
+    mutated_params: dict[str, list[MutationSite]] = field(
+        default_factory=dict
+    )
+    #: (module-level or ``global``-declared name, store site) pairs.
+    global_writes: list[tuple[str, ast.AST]] = field(default_factory=list)
+    #: names declared ``global`` anywhere in the body.
+    global_decls: set[str] = field(default_factory=set)
+
+
+def _base_name(expr: ast.expr) -> str | None:
+    """The root ``Name`` of an attribute/subscript chain, if simple."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def iter_statements(body: list[ast.stmt]) -> list[ast.stmt]:
+    """Statements of ``body`` in source order, recursing into blocks.
+
+    Nested function/class definitions are returned as single statements
+    (their bodies are *not* flattened) so callers can apply shadowing
+    rules before descending.
+    """
+    out: list[ast.stmt] = []
+    for stmt in body:
+        out.append(stmt)
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for block in (
+            getattr(stmt, "body", None),
+            getattr(stmt, "orelse", None),
+            getattr(stmt, "finalbody", None),
+        ):
+            if isinstance(block, list):
+                out.extend(iter_statements(block))
+        for handler in getattr(stmt, "handlers", []) or []:
+            out.extend(iter_statements(handler.body))
+    return out
+
+
+def _shadowed(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda, name: str
+) -> bool:
+    args = node.args
+    return name in {
+        a.arg
+        for a in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + [x for x in (args.vararg, args.kwarg) if x is not None]
+        )
+    }
+
+
+def _walk_unshadowed(
+    root: ast.AST, tracked: set[str]
+) -> list[tuple[ast.AST, set[str]]]:
+    """Walk ``root`` yielding ``(node, live_tracked_names)``.
+
+    Descending into a nested function drops the names its parameters
+    shadow — a mutation of a shadowed name belongs to the inner scope.
+    """
+    out: list[tuple[ast.AST, set[str]]] = []
+    stack: list[tuple[ast.AST, set[str]]] = [(root, tracked)]
+    while stack:
+        node, live = stack.pop()
+        out.append((node, live))
+        for child in ast.iter_child_nodes(node):
+            child_live = live
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                child_live = {
+                    n for n in live if not _shadowed(child, n)
+                }
+            stack.append((child, child_live))
+    return out
+
+
+def effects_of(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    module_level_names: set[str] | None = None,
+) -> FunctionEffects:
+    """Compute :class:`FunctionEffects` for one function definition."""
+    args = node.args
+    params = {
+        a.arg
+        for a in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + [x for x in (args.vararg, args.kwarg) if x is not None]
+        )
+    }
+    module_names = module_level_names or set()
+    effects = FunctionEffects()
+
+    # Pass 1: aliases (alias -> param) from simple `m = param` binds, and
+    # names rebound to something else (which kills the alias).
+    aliases: dict[str, str] = {}
+    for stmt in iter_statements(node.body):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                if (
+                    isinstance(stmt.value, ast.Name)
+                    and stmt.value.id in params
+                ):
+                    aliases[target.id] = stmt.value.id
+                else:
+                    aliases.pop(target.id, None)
+
+    def canonical(name: str) -> str:
+        return aliases.get(name, name)
+
+    def record(name: str, site: ast.AST, why: str) -> None:
+        root = canonical(name)
+        if root in params:
+            effects.mutated_params.setdefault(root, []).append(
+                MutationSite(root, site, why)
+            )
+        elif name in module_names or name in effects.global_decls:
+            effects.global_writes.append((name, site))
+
+    tracked = params | set(aliases) | module_names
+
+    for item, live in _walk_unshadowed(node, set(tracked)):
+        if isinstance(item, ast.Global):
+            effects.global_decls.update(item.names)
+            continue
+        if isinstance(item, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                item.targets
+                if isinstance(item, ast.Assign)
+                else [item.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    base = _base_name(target)
+                    if base is not None and base in live:
+                        kind = (
+                            "attribute store"
+                            if isinstance(target, ast.Attribute)
+                            else "item store"
+                        )
+                        record(base, item, kind)
+                elif isinstance(target, ast.Name):
+                    if isinstance(item, ast.AugAssign) and (
+                        target.id in effects.global_decls
+                        or (
+                            target.id in module_names
+                            and target.id not in params
+                        )
+                    ):
+                        record(target.id, item, "augmented store")
+                    elif target.id in effects.global_decls:
+                        record(target.id, item, "global rebind")
+        elif isinstance(item, ast.Delete):
+            for target in item.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    base = _base_name(target)
+                    if base is not None and base in live:
+                        record(base, item, "del")
+        elif isinstance(item, ast.Call):
+            func = item.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+            ):
+                base = _base_name(func.value)
+                if base is not None and base in live:
+                    record(base, item, f".{func.attr}() call")
+    return effects
+
+
+# ----------------------------------------------------------------------
+# unordered-source analysis
+# ----------------------------------------------------------------------
+def _call_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def unordered_reason(
+    expr: ast.expr, derived: set[str] | None = None
+) -> str | None:
+    """Why ``expr`` iterates in no guaranteed order (``None`` if ordered).
+
+    ``derived`` is the set of local names known to hold unordered-derived
+    sequences (see :func:`unordered_names`). ``sorted(...)`` (and
+    ``min``/``max``, which are order-independent) never come back
+    unordered.
+    """
+    names = derived or set()
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set literal/comprehension"
+    if isinstance(expr, ast.Call):
+        name = _call_name(expr)
+        if name in _UNORDERED_FACTORIES:
+            return f"{name}(...) result"
+        if name in _ORDER_PRESERVING and expr.args:
+            inner = unordered_reason(expr.args[0], names)
+            if inner is not None:
+                return inner
+        if (
+            isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _DICT_VIEW_METHODS
+            and not expr.args
+        ):
+            return f".{expr.func.attr}() dict view"
+    if isinstance(expr, ast.Name) and expr.id in names:
+        return f"{expr.id!r} (derived from an unordered source)"
+    if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+        for gen in expr.generators:
+            inner = unordered_reason(gen.iter, names)
+            if inner is not None:
+                return inner
+    return None
+
+
+def unordered_names(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names assigned from unordered (or unordered-derived) expressions.
+
+    One forward scan in statement order; a later rebind from an ordered
+    expression removes the taint. Comprehension results over unordered
+    iterables count as derived (the element order still reflects the
+    unordered source).
+    """
+    tainted: set[str] = set()
+    for stmt in iter_statements(node.body):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                if unordered_reason(stmt.value, tainted) is not None:
+                    tainted.add(target.id)
+                else:
+                    tainted.discard(target.id)
+    return tainted

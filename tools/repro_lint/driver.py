@@ -1,0 +1,177 @@
+"""Analysis driver: shallow rules + deep passes + reporting formats.
+
+The original ``python -m tools.repro_lint src tests`` flow (per-file
+rules, text output) still lives in :func:`tools.repro_lint.engine.main`
+and is what the fast ``make repro-lint`` gate runs. This module is the
+full pipeline behind ``make lint-deep`` and ``ptpminer lint``:
+
+1. parse every file once into :class:`FileContext` objects;
+2. run the per-file rules (R001–R009);
+3. in deep mode, build the :class:`ProjectGraph` over the ``src``
+   modules and run the graph passes (R010–R016);
+4. filter through suppressions (marking which ones fired);
+5. in deep mode, run the suppression audit (R017) over what remains;
+6. render as ``text``, ``json``, or ``sarif``.
+
+Exit codes match the engine CLI: 0 clean, 1 findings, 2 usage/parse
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from tools.repro_lint.engine import (
+    FileContext,
+    Violation,
+    _is_suppressed,
+    build_context,
+    iter_python_files,
+)
+from tools.repro_lint.graph import ProjectGraph
+from tools.repro_lint.passes import ALL_PASSES, PASS_RULES, audit
+from tools.repro_lint.sarif import render_sarif
+
+__all__ = [
+    "analyze_contexts",
+    "analyze_paths",
+    "main",
+    "render",
+    "rule_catalog",
+]
+
+
+def rule_catalog(*, deep: bool = True) -> dict[str, str]:
+    """code -> summary for every rule the requested mode can emit."""
+    from tools.repro_lint.rules import ALL_RULES
+
+    catalog = {rule.code: rule.summary for rule in ALL_RULES}
+    if deep:
+        catalog.update(PASS_RULES)
+    return dict(sorted(catalog.items()))
+
+
+def analyze_contexts(
+    contexts: Sequence[FileContext], *, deep: bool = True
+) -> list[Violation]:
+    """Run the full pipeline over pre-built contexts (test seam)."""
+    from tools.repro_lint.rules import ALL_RULES
+
+    raw: list[Violation] = []
+    for ctx in contexts:
+        for rule in ALL_RULES:
+            raw.extend(rule.check(ctx))
+    if deep:
+        graph = ProjectGraph()
+        for ctx in contexts:
+            graph.add_module(ctx)
+        for pass_ in ALL_PASSES:
+            raw.extend(pass_.run(graph))
+    by_path = {ctx.path: ctx for ctx in contexts}
+    kept = [
+        violation
+        for violation in raw
+        if violation.path not in by_path
+        or not _is_suppressed(by_path[violation.path], violation)
+    ]
+    if deep:
+        kept.extend(audit(contexts))
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return kept
+
+
+def analyze_paths(
+    paths: Iterable[str | Path], *, deep: bool = True
+) -> list[Violation]:
+    """Analyze every python file under ``paths``."""
+    contexts = [
+        build_context(fp, fp.read_text())
+        for fp in iter_python_files(paths)
+    ]
+    return analyze_contexts(contexts, deep=deep)
+
+
+def render(
+    violations: Sequence[Violation], fmt: str, *, deep: bool = True
+) -> str:
+    """Render findings as ``text``, ``json``, or ``sarif``."""
+    if fmt == "text":
+        return "\n".join(v.render() for v in violations)
+    if fmt == "json":
+        return json.dumps(
+            [
+                {
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "code": v.code,
+                    "message": v.message,
+                }
+                for v in violations
+            ],
+            indent=2,
+        )
+    if fmt == "sarif":
+        return render_sarif(violations, rule_catalog(deep=deep))
+    raise ValueError(f"unknown format: {fmt!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """CLI parser shared with the ``ptpminer lint`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project lint: per-file rules (R001-R009) plus, with "
+            "--deep, graph passes for determinism, boundary "
+            "shippability, purity, coverage, and suppression hygiene "
+            "(R010-R017)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="+", help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="run the project-graph passes (R010+)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m tools.repro_lint --deep ...``."""
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    try:
+        violations = analyze_paths(args.paths, deep=args.deep)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    report = render(violations, args.format, deep=args.deep)
+    if args.output is not None:
+        Path(args.output).write_text(report + "\n")
+    elif report:
+        print(report)
+    count = len(violations)
+    if count:
+        print(f"repro-lint: {count} violation(s)", file=sys.stderr)
+        return 1
+    return 0

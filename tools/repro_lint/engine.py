@@ -5,7 +5,22 @@ lint gate runs anywhere the test suite runs, including the bare CI
 container. Rules live in :mod:`tools.repro_lint.rules`; this module owns
 everything rule-independent: walking paths, classifying files (test
 module? inside ``src/repro``?), parsing sources, applying
-``# repro-lint: ignore[...]`` suppressions, and the CLI.
+``# repro-lint:`` suppressions, and the CLI.
+
+Suppression syntax (one comment per line, applies to that line):
+
+* ``# repro-lint: R010`` — suppress R010 here, indefinitely.
+* ``# repro-lint: R010, R013 until=PR8`` — suppress until the repo
+  reaches PR 8 (compared against :data:`CURRENT_PR`); after that the
+  suppression stops working and the deep-lint audit (R017) flags it.
+* ``# repro-lint: R010 until=2026-12-31`` — same, with a calendar
+  deadline.
+* ``# repro-lint: ignore[R010]`` — legacy spelling, still honoured.
+* ``# repro-lint: ignore`` — legacy blanket form; still suppresses, but
+  the deep audit flags it inside ``src/repro`` as unscoped.
+
+Expired or malformed suppressions fail *closed*: they stop suppressing,
+so the underlying violation resurfaces alongside the audit finding.
 """
 
 from __future__ import annotations
@@ -15,10 +30,13 @@ import re
 import sys
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
+from datetime import date
 from pathlib import Path
 
 __all__ = [
+    "CURRENT_PR",
     "FileContext",
+    "Suppression",
     "Violation",
     "iter_python_files",
     "lint_paths",
@@ -26,11 +44,21 @@ __all__ = [
     "main",
 ]
 
-#: Matches a suppression comment anywhere in a line. Group 1, when
-#: present, is the comma-separated code list; absent means "all rules".
+#: The repo's PR sequence number, bumped once per landed PR. ``until=PRn``
+#: suppressions stay active while ``CURRENT_PR < n``.
+CURRENT_PR = 6
+
+#: Matches a suppression comment anywhere in a line. Either the legacy
+#: ``ignore``/``ignore[...]`` form (group 1 = bracketed code list) or a
+#: bare comma-separated code list (group 2), optionally followed by an
+#: ``until=`` expiry token (group 3).
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?"
+    r"#\s*repro-lint:\s*"
+    r"(?:ignore(?:\[([A-Za-z0-9_,\s]+)\])?|([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*))"
+    r"(?:\s+until=([^\s#]+))?"
 )
+
+_PR_TOKEN_RE = re.compile(r"PR(\d+)")
 
 _SKIP_DIR_NAMES = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache"}
 
@@ -50,6 +78,54 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
+@dataclass
+class Suppression:
+    """One parsed ``# repro-lint:`` comment.
+
+    ``used`` flips to True the first time the suppression actually hides
+    a violation; the deep-lint audit (R017) reports suppressions that
+    never fire.
+    """
+
+    line: int
+    codes: frozenset[str] | None  # None = legacy blanket "ignore"
+    until: str | None = None  # raw expiry token, e.g. "PR8"
+    expired: bool = False
+    malformed: str | None = None  # reason, when the comment can't apply
+    used: bool = False
+
+    @property
+    def scoped(self) -> bool:
+        """True when the comment names explicit rule codes."""
+        return self.codes is not None
+
+    @property
+    def active(self) -> bool:
+        """True when the suppression may still hide violations."""
+        return not self.expired and self.malformed is None
+
+    def matches(self, code: str) -> bool:
+        """True when this suppression covers rule ``code``."""
+        return self.codes is None or code in self.codes
+
+
+def _parse_until(token: str) -> tuple[bool, str | None]:
+    """Evaluate an ``until=`` token -> (expired, malformed-reason)."""
+    pr_match = _PR_TOKEN_RE.fullmatch(token)
+    if pr_match is not None:
+        return CURRENT_PR >= int(pr_match.group(1)), None
+    if token.startswith("PR"):
+        return False, (
+            f"unevaluable expiry {token!r} (use an absolute PR number, "
+            f"e.g. until=PR{CURRENT_PR + 2}, or an ISO date)"
+        )
+    try:
+        deadline = date.fromisoformat(token)
+    except ValueError:
+        return False, f"unparseable expiry {token!r} (expected PRn or ISO date)"
+    return date.today() > deadline, None
+
+
 @dataclass(frozen=True)
 class FileContext:
     """Everything a rule needs to know about one source file."""
@@ -59,7 +135,7 @@ class FileContext:
     tree: ast.Module
     is_test: bool
     module: str | None  # dotted module name when under src/, else None
-    suppressions: dict[int, frozenset[str] | None] = field(default_factory=dict)
+    suppressions: tuple[Suppression, ...] = ()
 
     @property
     def in_repro_src(self) -> bool:
@@ -79,22 +155,37 @@ class FileContext:
         )
 
 
-def _parse_suppressions(source: str) -> dict[int, frozenset[str] | None]:
-    """Map 1-based line number -> suppressed codes (``None`` = all)."""
-    table: dict[int, frozenset[str] | None] = {}
+def _parse_suppressions(source: str) -> tuple[Suppression, ...]:
+    """Parse every ``# repro-lint:`` comment into a :class:`Suppression`."""
+    found: list[Suppression] = []
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(line)
         if match is None:
             continue
-        codes_text = match.group(1)
+        codes_text = match.group(1) or match.group(2)
+        codes: frozenset[str] | None
         if codes_text is None:
-            table[lineno] = None
+            codes = None
         else:
-            codes = frozenset(
+            parsed = frozenset(
                 code.strip() for code in codes_text.split(",") if code.strip()
             )
-            table[lineno] = codes if codes else None
-    return table
+            codes = parsed if parsed else None
+        until = match.group(3)
+        expired = False
+        malformed: str | None = None
+        if until is not None:
+            expired, malformed = _parse_until(until)
+        found.append(
+            Suppression(
+                line=lineno,
+                codes=codes,
+                until=until,
+                expired=expired,
+                malformed=malformed,
+            )
+        )
+    return tuple(found)
 
 
 def _module_name(path: Path) -> str | None:
@@ -134,11 +225,23 @@ def build_context(path: Path, source: str) -> FileContext:
     )
 
 
+#: Rules that may never be suppressed: the suppression audit itself (a
+#: suppressible audit could hide its own findings).
+UNSUPPRESSABLE = frozenset({"R017"})
+
+
 def _is_suppressed(ctx: FileContext, violation: Violation) -> bool:
-    codes = ctx.suppressions.get(violation.line, frozenset())
-    if codes is None:  # bare "ignore": every rule on this line
-        return True
-    return violation.code in codes
+    if violation.code in UNSUPPRESSABLE:
+        return False
+    for supp in ctx.suppressions:
+        if (
+            supp.line == violation.line
+            and supp.active
+            and supp.matches(violation.code)
+        ):
+            supp.used = True
+            return True
+    return False
 
 
 def lint_source(

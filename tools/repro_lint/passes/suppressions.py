@@ -1,0 +1,92 @@
+"""Suppression hygiene audit (R017).
+
+A suppression comment is a debt marker; this audit keeps the ledger
+honest. After the driver has filtered violations (marking which
+suppressions actually fired), it calls :func:`audit` over the
+``src/repro`` file contexts and reports:
+
+* **unused** suppressions — the named rule no longer fires on that
+  line; delete the comment (the accidental variant, prose that happens
+  to contain ``repro-lint: ignore[...]``, is caught the same way);
+* **expired** suppressions — the ``until=`` deadline has passed; fix
+  the underlying finding (which has already resurfaced, since expired
+  suppressions stop suppressing) or renegotiate the deadline;
+* **malformed** suppressions — an ``until=`` token that cannot be
+  evaluated (e.g. the relative form ``until=PR+2``; write the absolute
+  PR number instead);
+* **unscoped** suppressions — the legacy blanket ``# repro-lint:
+  ignore`` with no rule list, which hides future findings unrelated to
+  the one it was written for.
+
+R017 itself is unsuppressable (see ``engine.UNSUPPRESSABLE``): an audit
+that can be silenced by the thing it audits is theatre. It is also
+scoped to non-test ``src/repro`` files — docs and test fixtures quote
+suppression syntax without owing anything to the ledger.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from tools.repro_lint.engine import FileContext, Violation
+
+__all__ = ["SUPPRESSION_RULES", "audit"]
+
+SUPPRESSION_RULES = {
+    "R017": "stale, expired, malformed, or unscoped lint suppression",
+}
+
+
+def audit(contexts: Iterable[FileContext]) -> list[Violation]:
+    """Audit suppression comments after violation filtering ran."""
+    out: list[Violation] = []
+
+    def at(ctx: FileContext, line: int, message: str) -> Violation:
+        return Violation(
+            path=ctx.path, line=line, col=0, code="R017", message=message
+        )
+
+    for ctx in contexts:
+        if not ctx.in_repro_src or ctx.is_test:
+            continue
+        for supp in ctx.suppressions:
+            scope = (
+                ", ".join(sorted(supp.codes))
+                if supp.codes
+                else "all rules"
+            )
+            if supp.malformed is not None:
+                out.append(
+                    at(ctx, supp.line, f"suppression ({scope}): {supp.malformed}")
+                )
+                continue
+            if supp.expired:
+                out.append(
+                    at(
+                        ctx,
+                        supp.line,
+                        f"suppression ({scope}) expired at "
+                        f"until={supp.until}; fix the finding or extend "
+                        "the deadline",
+                    )
+                )
+                continue
+            if not supp.used:
+                out.append(
+                    at(
+                        ctx,
+                        supp.line,
+                        f"unused suppression ({scope}): nothing fires "
+                        "on this line — delete the comment",
+                    )
+                )
+            elif not supp.scoped:
+                out.append(
+                    at(
+                        ctx,
+                        supp.line,
+                        "unscoped blanket 'ignore' suppression; name "
+                        "the rule codes it is meant to cover",
+                    )
+                )
+    return out

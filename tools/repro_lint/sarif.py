@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 serialization for lint findings.
+
+Static Analysis Results Interchange Format output lets CI surface
+repro-lint findings in code-scanning UIs. Only the small, stable core
+of the schema is emitted: one run, one tool driver with a rule catalog,
+and one result per violation with a single physical location. Columns
+are converted from the engine's 0-based offsets to SARIF's 1-based
+ones; paths are emitted relative with forward slashes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+
+from tools.repro_lint.engine import Violation
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://github.com/paper-repro/ptpminer"
+
+
+def _artifact_uri(path: str) -> str:
+    return path.replace("\\", "/").lstrip("./")
+
+
+def to_sarif(
+    violations: Iterable[Violation],
+    rule_catalog: Mapping[str, str],
+) -> dict[str, object]:
+    """Build a SARIF 2.1.0 log dict for ``violations``.
+
+    ``rule_catalog`` maps every rule code that may appear to its
+    one-line summary; all catalog rules are declared in the driver
+    section even when they produced no results, so code-scanning UIs
+    can show the full rule set.
+    """
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, summary in sorted(rule_catalog.items())
+    ]
+    results = [
+        {
+            "ruleId": violation.code,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _artifact_uri(violation.path),
+                        },
+                        "region": {
+                            "startLine": max(1, violation.line),
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    violations: Iterable[Violation],
+    rule_catalog: Mapping[str, str],
+) -> str:
+    """Serialize ``violations`` as an indented SARIF JSON document."""
+    return json.dumps(
+        to_sarif(violations, rule_catalog), indent=2, sort_keys=False
+    )
