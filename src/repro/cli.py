@@ -15,7 +15,18 @@ Subcommands
 ``report``
     Join a run's span trace, metrics snapshot, and ``--live-log`` frame
     log into one markdown (or JSON) run report: phase table, shard
-    utilization/imbalance, prune funnel, straggler callouts.
+    utilization/imbalance, prune funnel, straggler callouts. With only
+    a subset of the inputs the report is partial and says so in a
+    Notes section instead of erroring.
+``history``
+    Trend table over a run ledger (``mine --ledger-dir``), grouped by
+    config fingerprint, with noise-aware regression flags reusing the
+    perf tolerances; ``--check`` exits 1 when the latest run of any
+    config regressed (for CI).
+``diff``
+    Compare two ledger runs by id (or unique id prefix): exact counter
+    deltas, phase-wall deltas with tolerance verdicts, heaviest-root
+    shifts. Exits 1 when the diff shows a hard regression.
 ``lint``
     Run the project's static analyzer (``tools/repro_lint``) over the
     checkout: per-file rules plus, by default, the deep project-graph
@@ -39,6 +50,11 @@ for flamegraph tooling; ``--profile-out BASE`` picks the base path
 callouts to stderr during the run (sharded engine; see
 :mod:`repro.obs.live`); ``--live-log FILE`` additionally appends every
 heartbeat frame as JSONL for ``ptpminer report``.
+``--cost-profile FILE`` writes the per-root / per-level search cost
+profile (:mod:`repro.obs.costmodel`) as JSON, and ``--ledger-dir DIR``
+appends the run — config/environment fingerprints, phase timings,
+counters, cost digest with heaviest roots — to the persistent run
+ledger (:mod:`repro.obs.ledger`) read by ``history`` and ``diff``.
 
 Examples
 --------
@@ -50,6 +66,9 @@ Examples
     ptpminer mine sparse.txt --metrics-out metrics.json --trace trace.jsonl
     ptpminer mine sparse.txt --workers 4 --live --live-log frames.jsonl
     ptpminer report --trace trace.jsonl --live-log frames.jsonl
+    ptpminer mine sparse.txt --cost-profile cost.json --ledger-dir runs/
+    ptpminer history --ledger-dir runs/ --check
+    ptpminer diff 2026 2026-08 --ledger-dir runs/
     ptpminer stats sparse.txt
 """
 
@@ -207,6 +226,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             print("--live/--live-log do not support --top-k",
                   file=sys.stderr)
             return 2
+    if args.cost_profile and args.miner != "ptpminer":
+        print("--cost-profile requires the ptpminer miner", file=sys.stderr)
+        return 2
     try:
         miner = _build_miner(args)
     except (TypeError, ValueError) as exc:
@@ -214,11 +236,22 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         return 2
     registry = None
     profiler = None
+    cost_collector = None
+    # Ledger entries carry a cost digest when the miner can produce one.
+    collect_cost = bool(args.cost_profile or args.ledger_dir) and (
+        args.miner == "ptpminer"
+    )
     profile_base = args.profile_out or ("profile" if args.profile else None)
     with ExitStack() as stack:
-        if args.metrics_out:
+        if args.metrics_out or args.ledger_dir:
+            # The ledger reads phase timings off the metrics registry,
+            # so --ledger-dir installs one even without --metrics-out.
             registry = obs.MetricsRegistry()
             stack.enter_context(obs.metrics.use_registry(registry))
+        if collect_cost:
+            cost_collector = stack.enter_context(
+                obs.costmodel.use_collector()
+            )
         if args.trace:
             writer = stack.enter_context(obs.JsonlTraceWriter.open(args.trace))
             stack.enter_context(obs.trace.use_tracer(writer))
@@ -258,6 +291,41 @@ def _cmd_mine(args: argparse.Namespace) -> int:
               file=sys.stderr)
     if args.trace:
         print(f"wrote span trace to {args.trace}", file=sys.stderr)
+    if args.cost_profile:
+        assert cost_collector is not None  # guarded above
+        with open(args.cost_profile, "w", encoding="utf-8") as handle:
+            json.dump(
+                cost_collector.snapshot(), handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        print(f"wrote cost profile to {args.cost_profile}", file=sys.stderr)
+    if args.ledger_dir:
+        from repro.obs import ledger as obs_ledger
+
+        assert registry is not None
+        snapshot = result.metrics or registry.snapshot()
+        entry = obs_ledger.build_entry(
+            dataset_digest=obs_ledger.dataset_digest(db),
+            miner=args.miner,
+            min_sup=args.min_sup,
+            mode=args.mode,
+            workers=args.workers,
+            wall_s=result.elapsed,
+            patterns=len(result.patterns),
+            counters=result.counters.as_dict(),
+            phases=obs_ledger.phase_seconds(snapshot),
+            cost_snapshot=(
+                cost_collector.snapshot()
+                if cost_collector is not None
+                else None
+            ),
+        )
+        run_ledger = obs_ledger.RunLedger(args.ledger_dir)
+        stored = run_ledger.append(entry)
+        print(
+            f"ledger: appended run {stored['run_id']} to {run_ledger.path}",
+            file=sys.stderr,
+        )
     if profiler is not None and profile_base is not None:
         from repro.obs.profile import write_profile
 
@@ -331,6 +399,73 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         print(text, end="")
     return 0
+
+
+def _tolerance_from_args(args: argparse.Namespace):  # type: ignore[no-untyped-def]
+    """A perf Tolerance from optional --time-rtol/--time-abs overrides."""
+    from repro.perf.compare import Tolerance
+
+    overrides = {}
+    if args.time_rtol is not None:
+        overrides["time_rtol"] = args.time_rtol
+    if args.time_abs is not None:
+        overrides["time_abs_s"] = args.time_abs
+    return Tolerance(**overrides)
+
+
+def _emit_text(text: str, out: str | None, what: str) -> None:
+    """Write ``text`` to ``out`` (noting it on stderr) or to stdout."""
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {what} to {out}", file=sys.stderr)
+    else:
+        print(text, end="")
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs import ledger as obs_ledger
+
+    run_ledger = obs_ledger.RunLedger(args.ledger_dir)
+    entries = run_ledger.entries()
+    report = obs_ledger.history_report(
+        entries, tolerance=_tolerance_from_args(args)
+    )
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    else:
+        text = obs_ledger.render_history_markdown(report)
+    _emit_text(text, args.out, "history report")
+    regressions = report["regressions"]
+    if args.check and regressions:
+        print(
+            f"history: {len(regressions)} regression(s) in the latest "
+            "runs — see the report above",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs import ledger as obs_ledger
+
+    run_ledger = obs_ledger.RunLedger(args.ledger_dir)
+    try:
+        entry_a = run_ledger.find(args.run_a)
+        entry_b = run_ledger.find(args.run_b)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = obs_ledger.diff_entries(
+        entry_a, entry_b, tolerance=_tolerance_from_args(args)
+    )
+    if args.json:
+        text = json.dumps(diff, indent=2, sort_keys=True) + "\n"
+    else:
+        text = obs_ledger.render_diff_markdown(diff)
+    _emit_text(text, args.out, "run diff")
+    return 1 if diff["has_regressions"] else 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -466,6 +601,12 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="throttle between live heartbeats/renders "
                              "(default 0.5)")
+    mine_p.add_argument("--cost-profile", metavar="FILE", default=None,
+                        help="write the per-root/per-level search cost "
+                             "profile as JSON (ptpminer only)")
+    mine_p.add_argument("--ledger-dir", metavar="DIR", default=None,
+                        help="append this run to the persistent JSONL run "
+                             "ledger in DIR (see 'ptpminer history/diff')")
     mine_p.set_defaults(func=_cmd_mine)
 
     stats_p = sub.add_parser("stats", help="describe a database file")
@@ -504,6 +645,52 @@ def build_parser() -> argparse.ArgumentParser:
                           help="straggler rule: lane throughput < K x "
                                "median (default 0.5)")
     report_p.set_defaults(func=_cmd_report)
+
+    def add_tolerance_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--time-rtol", type=float, default=None,
+                         metavar="FRAC",
+                         help="wall-time relative tolerance (default: the "
+                              "perf layer's)")
+        cmd.add_argument("--time-abs", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-time absolute floor (default: the "
+                              "perf layer's)")
+
+    history_p = sub.add_parser(
+        "history",
+        help="per-config trend table over a run ledger, with "
+             "noise-aware regression flags",
+    )
+    history_p.add_argument("--ledger-dir", metavar="DIR", required=True,
+                           help="ledger directory (mine --ledger-dir)")
+    history_p.add_argument("--json", action="store_true",
+                           help="emit the report as JSON instead of "
+                                "markdown")
+    history_p.add_argument("--out", metavar="FILE", default=None,
+                           help="write the report here instead of stdout")
+    history_p.add_argument("--check", action="store_true",
+                           help="exit 1 when the latest run of any config "
+                                "fingerprint regressed (for CI)")
+    add_tolerance_args(history_p)
+    history_p.set_defaults(func=_cmd_history)
+
+    diff_p = sub.add_parser(
+        "diff",
+        help="compare two ledger runs: exact counter deltas, phase-wall "
+             "deltas, heaviest-root shifts",
+    )
+    diff_p.add_argument("run_a", help="run id (or unique prefix) of the "
+                                      "baseline run")
+    diff_p.add_argument("run_b", help="run id (or unique prefix) of the "
+                                      "run to compare")
+    diff_p.add_argument("--ledger-dir", metavar="DIR", required=True,
+                        help="ledger directory (mine --ledger-dir)")
+    diff_p.add_argument("--json", action="store_true",
+                        help="emit the diff as JSON instead of markdown")
+    diff_p.add_argument("--out", metavar="FILE", default=None,
+                        help="write the diff here instead of stdout")
+    add_tolerance_args(diff_p)
+    diff_p.set_defaults(func=_cmd_diff)
 
     lint_p = sub.add_parser(
         "lint",

@@ -43,6 +43,7 @@ from repro.model.database import ESequenceDatabase
 from repro.model.pattern import PatternWithSupport, TemporalPattern
 from repro.model.sequence import ESequence
 from repro.obs import clock as obs_clock
+from repro.obs import costmodel as obs_costmodel
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
 from repro.obs import trace as obs_trace
@@ -702,6 +703,7 @@ class PTPMiner:
         registry = obs_metrics.active_registry()
         tracer = obs_trace.active_tracer()
         progress = obs_progress.active_reporter()
+        cost = obs_costmodel.active_collector()
         obs_on = registry is not None or tracer is not None
         obs_span = obs_trace.span
         states_by_depth: dict[int, int] = {}
@@ -1017,6 +1019,12 @@ class PTPMiner:
                         ).observe(len(candidates))
                 else:
                     candidates = gather_candidates(proj, last_token)
+                if cost is not None:
+                    # Funnel rows are keyed by *candidate* level (= the
+                    # pattern length an extension would reach), so a
+                    # node at depth d feeds row d+1 — the same row its
+                    # frequent survivors and emitted patterns land in.
+                    cost.record_node(num_tokens + 1, len(candidates))
             if at_root and root_plan_out is not None:
                 root_plan_out.append(candidates)
                 return
@@ -1034,6 +1042,16 @@ class PTPMiner:
                     and num_occurrences >= self.max_size
                 ):
                     continue
+                if cost is not None:
+                    if at_root:
+                        # Root attribution brackets the whole subtree:
+                        # counter deltas and wall time from here to the
+                        # end of the backtrack. Each root is expanded
+                        # exactly once (in one shard, or serially), so
+                        # merged profiles are unions, never sums.
+                        root_wall_t0 = obs_clock.now()
+                        root_counters_t0 = counters.as_dict()
+                    cost.record_frequent(num_tokens + 1)
                 counters.candidates_frequent += 1
                 if obs_on:
                     with obs_span(
@@ -1065,6 +1083,8 @@ class PTPMiner:
                     del open_start_ps[(lab, pocc)]
                 if not open_start_ps:
                     counters.patterns_emitted += 1
+                    if cost is not None:
+                        cost.record_pattern(num_tokens)
                     if obs_on:
                         patterns_by_length[num_tokens] = (
                             patterns_by_length.get(num_tokens, 0) + 1
@@ -1103,6 +1123,13 @@ class PTPMiner:
                     pointsets.pop()
                 else:
                     pointsets[-1].pop()
+                if cost is not None and at_root:
+                    cost.record_root(
+                        str(encoded.decode_token((sym, pocc))),
+                        obs_clock.now() - root_wall_t0,
+                        root_counters_t0,
+                        counters.as_dict(),
+                    )
 
         root = [
             (seq.sid, (EMPTY_STATE,))

@@ -87,6 +87,7 @@ from repro.core.ptpminer import (
 from repro.model.database import ESequenceDatabase
 from repro.model.pattern import PatternWithSupport
 from repro.obs import clock as obs_clock
+from repro.obs import costmodel as obs_costmodel
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
@@ -143,6 +144,9 @@ class ShardResult:
     metrics: dict[str, Any] = field(default_factory=dict)
     trace_events: list[dict[str, Any]] = field(default_factory=list)
     elapsed: float = 0.0
+    #: Cost-profile snapshot (``CostCollector.snapshot()``), shipped
+    #: home exactly like ``metrics`` and absorbed by the parent.
+    cost: dict[str, Any] = field(default_factory=dict)
 
 
 def plan_shards(
@@ -193,6 +197,7 @@ def _init_worker(
     weights: Sequence[float],
     collect_metrics: bool,
     collect_trace: bool,
+    collect_cost: bool = False,
     live_queue: Optional[Any] = None,
     live_interval: float = 0.5,
 ) -> None:
@@ -210,10 +215,12 @@ def _init_worker(
     obs_metrics.set_registry(None)
     obs_progress.set_reporter(None)
     obs_live.set_live(None)
+    obs_costmodel.set_collector(None)
     _WORKER_PAYLOAD["db"] = db
     _WORKER_PAYLOAD["weights"] = list(weights)
     _WORKER_PAYLOAD["collect_metrics"] = collect_metrics
     _WORKER_PAYLOAD["collect_trace"] = collect_trace
+    _WORKER_PAYLOAD["collect_cost"] = collect_cost
     _WORKER_PAYLOAD["live_publish"] = (
         None if live_queue is None else live_queue.put
     )
@@ -234,6 +241,14 @@ def _run_shard(task: ShardTask) -> ShardResult:
         if _WORKER_PAYLOAD["collect_metrics"]
         else None
     )
+    # A private collector even on the serial executor: the parent's
+    # collector stays shadowed during the search and the snapshot comes
+    # home through ShardResult, so both executors merge identically.
+    cost = (
+        obs_costmodel.CostCollector()
+        if _WORKER_PAYLOAD.get("collect_cost")
+        else None
+    )
     publish = _WORKER_PAYLOAD.get("live_publish")
     sink = (
         None
@@ -252,6 +267,8 @@ def _run_shard(task: ShardTask) -> ShardResult:
             stack.enter_context(obs_metrics.use_registry(registry))
         if collector is not None:
             stack.enter_context(obs_trace.use_tracer(collector))
+        if cost is not None:
+            stack.enter_context(obs_costmodel.use_collector(cost))
         patterns, counters = miner.search_shard(
             db,
             weights,
@@ -272,6 +289,7 @@ def _run_shard(task: ShardTask) -> ShardResult:
         metrics=registry.snapshot() if registry is not None else {},
         trace_events=collector.events if collector is not None else [],
         elapsed=elapsed,
+        cost=cost.snapshot() if cost is not None else {},
     )
 
 
@@ -290,6 +308,7 @@ def _run_process(
     workers: int,
     collect_metrics: bool,
     collect_trace: bool,
+    collect_cost: bool = False,
     live_queue: Optional[Any] = None,
     live_interval: float = 0.5,
     on_frame: Optional[Callable[[dict[str, Any]], None]] = None,
@@ -310,6 +329,7 @@ def _run_process(
             weights,
             collect_metrics,
             collect_trace,
+            collect_cost,
             live_queue,
             live_interval,
         ),
@@ -430,6 +450,7 @@ def mine_sharded(
     weights = [1.0] * len(db)
     registry = obs_metrics.active_registry()
     tracer = obs_trace.active_tracer()
+    cost = obs_costmodel.active_collector()
     started = obs_clock.now()
     with obs_trace.span(
         "mine",
@@ -474,6 +495,7 @@ def mine_sharded(
                         weights,
                         collect_metrics=registry is not None,
                         collect_trace=tracer is not None,
+                        collect_cost=cost is not None,
                         live_publish=on_frame,
                         live_interval=(
                             collector.config.interval_s
@@ -499,6 +521,7 @@ def mine_sharded(
                         workers,
                         collect_metrics=registry is not None,
                         collect_trace=tracer is not None,
+                        collect_cost=cost is not None,
                         live_queue=live_queue,
                         live_interval=(
                             collector.config.interval_s
@@ -522,6 +545,8 @@ def mine_sharded(
                         registry.gauge(
                             "engine.shard_elapsed_s", shard=result.shard
                         ).set(result.elapsed)
+                    if cost is not None and result.cost:
+                        cost.absorb(result.cost)
                 patterns.sort(key=PatternWithSupport.sort_key)
         finally:
             if manager is not None:
@@ -565,6 +590,7 @@ def _init_payload_inline(
     *,
     collect_metrics: bool,
     collect_trace: bool,
+    collect_cost: bool = False,
     live_publish: Optional[Callable[[dict[str, Any]], None]] = None,
     live_interval: float = 0.5,
 ) -> None:
@@ -577,6 +603,7 @@ def _init_payload_inline(
     _WORKER_PAYLOAD["weights"] = list(weights)
     _WORKER_PAYLOAD["collect_metrics"] = collect_metrics
     _WORKER_PAYLOAD["collect_trace"] = collect_trace
+    _WORKER_PAYLOAD["collect_cost"] = collect_cost
     _WORKER_PAYLOAD["live_publish"] = live_publish
     _WORKER_PAYLOAD["live_interval"] = live_interval
 

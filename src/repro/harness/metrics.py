@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.obs import clock as _obs_clock
+from repro.obs import costmodel as _obs_costmodel
 from repro.obs import live as _obs_live
 from repro.obs import metrics as _obs_metrics
 
@@ -39,6 +40,13 @@ class RunMetrics:
     :meth:`~repro.obs.live.LiveAggregator.summary` (per-shard lanes,
     shard imbalance, stragglers) when ``collect_live=True`` and the
     measured callable actually ran the sharded engine, else ``None``.
+    ``cost_profile`` holds the per-root / per-level search cost snapshot
+    (:meth:`~repro.obs.costmodel.CostCollector.snapshot`) when
+    ``collect_cost=True``; callables that never run the instrumented
+    search leave its ``roots``/``levels`` empty. ``config_fingerprint``
+    is provenance stamped by the caller (see
+    :func:`repro.obs.ledger.config_fingerprint`) so measured rows can
+    be joined against ledger entries; ``measure`` never computes it.
     """
 
     result: Any
@@ -48,6 +56,8 @@ class RunMetrics:
     profile: Optional[dict[str, Any]] = None
     workers: int = 1
     live_summary: Optional[dict[str, Any]] = None
+    cost_profile: Optional[dict[str, Any]] = None
+    config_fingerprint: Optional[str] = None
 
     @property
     def peak_mem_mb(self) -> Optional[float]:
@@ -64,7 +74,9 @@ def measure(
     collect_obs: bool = False,
     collect_profile: bool = False,
     collect_live: bool = False,
+    collect_cost: bool = False,
     workers: int = 1,
+    fingerprint: Optional[str] = None,
 ) -> RunMetrics:
     """Run ``fn`` once, measuring wall time and peak heap growth.
 
@@ -81,7 +93,11 @@ def measure(
     callable runs :func:`repro.engine.mine_sharded`, the engine streams
     shard heartbeats into it and :attr:`RunMetrics.live_summary` carries
     the final lane summary (shard imbalance, stragglers); callables that
-    never hit the engine leave it ``None``.
+    never hit the engine leave it ``None``. ``collect_cost=True`` scopes
+    a fresh :class:`~repro.obs.costmodel.CostCollector` around the call
+    and returns its snapshot in :attr:`RunMetrics.cost_profile` —
+    sharded callables merge worker snapshots into it through the engine,
+    so the profile is identical to a serial run's.
 
     Measurement hygiene — how the flags interact:
 
@@ -97,6 +113,9 @@ def measure(
     * ``collect_profile=True`` inflates ``elapsed_s`` (cProfile hooks
       every call; tracemalloc every allocation) — profile numbers
       attribute cost, they are not benchmark timings.
+    * ``collect_cost=True`` adds per-candidate recording inside the
+      search (a dict update per frequent candidate); the cost is small
+      but real, so benchmark timings keep it off, same as the registry.
     * If tracemalloc is *already tracing* when ``measure`` is called
       (nested ``measure``, or an enclosing
       :func:`~repro.obs.profile.profile_scope`), the inner call reuses
@@ -107,9 +126,11 @@ def measure(
     (the callable itself decides that, e.g. via
     :func:`repro.engine.mine_sharded`), it only stamps the returned
     :attr:`RunMetrics.workers` so downstream rows carry the setting.
-    Note that with ``workers > 1`` and a process executor,
-    ``peak_mem_bytes`` only tracks the parent process's heap — worker
-    allocations are invisible to tracemalloc.
+    ``fingerprint`` is provenance the same way — it is stamped onto
+    :attr:`RunMetrics.config_fingerprint` unchanged. Note that with
+    ``workers > 1`` and a process executor, ``peak_mem_bytes`` only
+    tracks the parent process's heap — worker allocations are invisible
+    to tracemalloc.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -122,6 +143,8 @@ def measure(
                 track_memory=track_memory,
                 collect_obs=collect_obs,
                 collect_live=collect_live,
+                collect_cost=collect_cost,
+                fingerprint=fingerprint,
             )
         return RunMetrics(
             inner.result,
@@ -131,11 +154,17 @@ def measure(
             profiler.report().as_dict(),
             workers,
             inner.live_summary,
+            cost_profile=inner.cost_profile,
+            config_fingerprint=fingerprint,
         )
     if collect_obs:
         with _obs_metrics.use_registry() as registry:
             inner = measure(
-                fn, track_memory=track_memory, collect_live=collect_live
+                fn,
+                track_memory=track_memory,
+                collect_live=collect_live,
+                collect_cost=collect_cost,
+                fingerprint=fingerprint,
             )
         return RunMetrics(
             inner.result,
@@ -144,6 +173,25 @@ def measure(
             registry.snapshot(),
             workers=workers,
             live_summary=inner.live_summary,
+            cost_profile=inner.cost_profile,
+            config_fingerprint=fingerprint,
+        )
+    if collect_cost:
+        with _obs_costmodel.use_collector() as cost_collector:
+            inner = measure(
+                fn,
+                track_memory=track_memory,
+                collect_live=collect_live,
+                fingerprint=fingerprint,
+            )
+        return RunMetrics(
+            inner.result,
+            inner.elapsed_s,
+            inner.peak_mem_bytes,
+            workers=workers,
+            live_summary=inner.live_summary,
+            cost_profile=cost_collector.snapshot(),
+            config_fingerprint=fingerprint,
         )
     if collect_live:
         live_config = _obs_live.LiveConfig(render=False)
@@ -155,12 +203,17 @@ def measure(
             inner.peak_mem_bytes,
             workers=workers,
             live_summary=live_collector.summary,
+            config_fingerprint=fingerprint,
         )
     if not track_memory:
         started = _obs_clock.now()
         result = fn()
         return RunMetrics(
-            result, _obs_clock.now() - started, None, workers=workers
+            result,
+            _obs_clock.now() - started,
+            None,
+            workers=workers,
+            config_fingerprint=fingerprint,
         )
     already_tracing = tracemalloc.is_tracing()
     if not already_tracing:
@@ -176,5 +229,9 @@ def measure(
         if not already_tracing:
             tracemalloc.stop()
     return RunMetrics(
-        result, elapsed, max(0, peak - base), workers=workers
+        result,
+        elapsed,
+        max(0, peak - base),
+        workers=workers,
+        config_fingerprint=fingerprint,
     )

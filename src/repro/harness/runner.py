@@ -93,6 +93,7 @@ class ExperimentRunner:
         collect_obs: bool = False,
         collect_profile: bool = False,
         collect_live: bool = False,
+        collect_cost: bool = False,
         workers: int = 1,
         extra: dict | None = None,
     ) -> list[dict]:
@@ -116,7 +117,19 @@ class ExperimentRunner:
         ``shard_imbalance`` column (max/mean lane busy time, 1.0 =
         perfectly balanced, ``None`` below two reporting shards) and
         attach the lane summary under the row's ``"live"`` key.
+        ``collect_cost=True`` scopes a search cost collector around
+        each run and attaches its snapshot under the row's ``"cost"``
+        key (JSON-encoded in CSV exports).
+
+        Every row also carries a ``config_fingerprint`` column — the
+        :func:`repro.obs.ledger.config_fingerprint` over the database's
+        content digest, the spec name, its built config, and the worker
+        count — so sweep rows are directly joinable against run-ledger
+        entries for the same configuration.
         """
+        from repro.obs.ledger import config_fingerprint, dataset_digest
+
+        db_digest = dataset_digest(db)
         new_rows = []
         for spec in miners:
             miner = spec.build(x_value)
@@ -132,13 +145,23 @@ class ExperimentRunner:
                 miner = ShardedMiner.from_config(
                     miner.config, workers=workers
                 )
+            built_config = getattr(miner, "config", None)
+            fingerprint = config_fingerprint(
+                dataset_digest=db_digest,
+                miner=spec.name,
+                min_sup=getattr(built_config, "min_sup", x_value),
+                mode=getattr(built_config, "mode", None),
+                workers=workers,
+            )
             metrics = measure(
                 lambda m=miner: m.mine(db),
                 track_memory=track_memory,
                 collect_obs=collect_obs,
                 collect_profile=collect_profile,
                 collect_live=collect_live,
+                collect_cost=collect_cost,
                 workers=workers,
+                fingerprint=fingerprint,
             )
             mining = metrics.result
             row = {
@@ -146,6 +169,7 @@ class ExperimentRunner:
                 self.x_name: x_value,
                 "dataset": db.name,
                 "workers": metrics.workers,
+                "config_fingerprint": metrics.config_fingerprint,
                 "runtime_s": round(metrics.elapsed_s, 4),
                 "patterns": len(mining.patterns),
             }
@@ -166,6 +190,8 @@ class ExperimentRunner:
 
                 row["profile_top"] = hottest_function(metrics.profile)
                 row["profile"] = metrics.profile
+            if collect_cost and metrics.cost_profile is not None:
+                row["cost"] = metrics.cost_profile
             if collect_live:
                 summary = metrics.live_summary
                 row["shard_imbalance"] = (

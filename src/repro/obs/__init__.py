@@ -23,6 +23,14 @@ Submodules
     :class:`~repro.obs.live.LiveSink` heartbeats, parent-side
     :class:`~repro.obs.live.LiveAggregator` lanes/ETA/stragglers
     (CLI ``mine --live``).
+:mod:`repro.obs.costmodel`
+    Per-root / per-level search cost attribution: which search-tree
+    roots the time, states, and prune work go to, merged
+    deterministically across shards (CLI ``mine --cost-profile``).
+:mod:`repro.obs.ledger`
+    Persistent append-only run ledger with config/environment
+    fingerprints and cross-run regression diffing (imported on
+    demand; CLI ``mine --ledger-dir``, ``ptpminer history``/``diff``).
 :mod:`repro.obs.chrometrace`
     Chrome trace-event / Perfetto exporter for JSONL span traces
     (imported on demand; run as ``python -m repro.obs.chrometrace``).
@@ -58,7 +66,8 @@ from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.obs import clock, live, metrics, progress, trace
+from repro.obs import clock, costmodel, live, metrics, progress, trace
+from repro.obs.costmodel import CostCollector, use_collector
 from repro.obs.live import LiveCollector, LiveConfig, use_live
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.progress import ProgressReporter, use_reporter
@@ -71,6 +80,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CostCollector",
     "JsonlTraceWriter",
     "LiveCollector",
     "LiveConfig",
@@ -79,6 +89,7 @@ __all__ = [
     "ProgressReporter",
     "TraceCollector",
     "clock",
+    "costmodel",
     "is_active",
     "live",
     "metrics",
@@ -87,6 +98,7 @@ __all__ = [
     "span",
     "trace",
     "traced",
+    "use_collector",
     "use_live",
     "use_registry",
     "use_reporter",

@@ -5,7 +5,10 @@ can emit — a JSONL span trace (``--trace``), a metrics snapshot
 (``--metrics-out``), and a live frame log (``--live-log``) — into one
 markdown (or JSON) report: a phase table, per-shard utilization with an
 imbalance figure, the prune funnel, and straggler callouts. Any subset
-of the three sources works; sections without data are omitted, and both
+of the three sources works: sections without data are omitted and the
+report instead carries a ``notes`` list saying *why* each section is
+absent (source not given vs. given but empty), so a partial report is
+an answer, not an error. Both
 trace and live-log parsers tolerate the truncated tails of killed runs
 (see :func:`repro.obs.trace.read_trace` /
 :func:`repro.obs.live.read_live_log`).
@@ -134,7 +137,11 @@ def build_run_report(
 ) -> dict[str, Any]:
     """Join the given artifacts into one JSON-ready report dict.
 
-    At least one source must be given. The live log is re-aggregated
+    At least one source must be given, but any subset works: each
+    section that cannot be built lands one line in the report's
+    ``notes`` list explaining whether its source was absent or present
+    but empty. Missing *files* still raise — a wrong path is a caller
+    error, not a degraded run. The live log is re-aggregated
     through :class:`repro.obs.live.LiveAggregator` (rendering off) with
     ``straggler_factor``, so the report's straggler callouts use the
     same rule as the live display.
@@ -151,6 +158,7 @@ def build_run_report(
             "live_log": live_log_path,
         }
     }
+    notes: list[str] = []
     snapshot: Optional[Mapping[str, Any]] = None
     if metrics_path is not None:
         with open(metrics_path, encoding="utf-8") as handle:
@@ -166,6 +174,13 @@ def build_run_report(
         phases = _phase_table(events)
         if phases:
             report["phases"] = phases
+        else:
+            notes.append(
+                "phase table omitted: the trace has no completed "
+                "main-track spans"
+            )
+    else:
+        notes.append("phase table omitted: no trace given")
     if snapshot is not None:
         counters = snapshot.get("counters", {})
         funnel = [
@@ -175,6 +190,13 @@ def build_run_report(
         ]
         if funnel:
             report["prune_funnel"] = funnel
+        else:
+            notes.append(
+                "prune funnel omitted: the metrics snapshot has no "
+                "search.* counters"
+            )
+    else:
+        notes.append("prune funnel omitted: no metrics snapshot given")
     live_summary: Optional[dict[str, Any]] = None
     if live_log_path is not None:
         frames = read_live_log(live_log_path)
@@ -186,6 +208,10 @@ def build_run_report(
         if aggregator.frames_ingested:
             live_summary = aggregator.summary()
             report["live"] = live_summary
+        else:
+            notes.append(
+                "live summary omitted: the live log has no frames"
+            )
     if live_summary is not None:
         lanes = live_summary["shards"]
         report["shards"] = [
@@ -200,6 +226,15 @@ def build_run_report(
             report["shard_imbalance"] = _imbalance(
                 [row["busy_s"] for row in shard_rows]
             )
+        else:
+            notes.append(
+                "shard table omitted: no live log given and the trace "
+                "has no shard spans (serial run?)"
+            )
+    elif live_log_path is None:
+        notes.append("shard table omitted: no live log or trace given")
+    if notes:
+        report["notes"] = notes
     return report
 
 
@@ -346,5 +381,12 @@ def render_markdown(report: Mapping[str, Any]) -> str:
             f"patterns: {live['patterns']}, "
             f"frames ingested: {live['frames']}"
         )
+        lines.append("")
+    notes = report.get("notes")
+    if notes:
+        lines.append("## Notes")
+        lines.append("")
+        for note in notes:
+            lines.append(f"- {note}")
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"

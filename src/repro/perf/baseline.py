@@ -44,6 +44,7 @@ from repro.perf.workloads import WorkloadCell, build_database, matrix_cells
 __all__ = [
     "BASELINE_FILENAME",
     "SCHEMA_VERSION",
+    "append_report_to_ledger",
     "environment_fingerprint",
     "load_report",
     "run_cell",
@@ -180,6 +181,58 @@ def load_report(path: Union[str, Path]) -> dict[str, Any]:
             f"this tool understands schema {SCHEMA_VERSION}"
         )
     return data
+
+
+def append_report_to_ledger(
+    report: Mapping[str, Any], ledger_dir: Union[str, Path]
+) -> list[dict[str, Any]]:
+    """Append one run-ledger entry per cell of a bench report.
+
+    This is how ``BENCH_PTPMINER.json`` gains a *trajectory*: every
+    ``perf run``/``compare`` invoked with ``--ledger-dir`` lands its
+    cells in the persistent ledger, and ``ptpminer history`` then
+    trends each cell across runs (the cell id is folded into the config
+    fingerprint, so every cell forms its own group). Dataset digests
+    are computed by regenerating each cell's database — generation is
+    deterministic under the registered seeds, so the digest matches a
+    ``mine --ledger-dir`` run over the same generated file. Returns the
+    appended entries in cell order.
+    """
+    # Imported here, not at module level: repro.obs.ledger imports
+    # repro.perf.compare for its tolerances, so a module-level import
+    # back into repro.perf would be circular.
+    from repro.obs.ledger import RunLedger, build_entry, dataset_digest
+
+    cells_by_id = {
+        cell.cell_id: cell for cell in matrix_cells(report["matrix"])
+    }
+    digests: dict[tuple[str, int], str] = {}
+    ledger = RunLedger(ledger_dir)
+    appended: list[dict[str, Any]] = []
+    environment = dict(report.get("environment", {}))
+    for row in report["cells"]:
+        cell = cells_by_id.get(row["cell"])
+        if cell is not None:
+            key = (cell.dataset, cell.num_sequences)
+            if key not in digests:
+                digests[key] = dataset_digest(build_database(cell))
+            digest = digests[key]
+        else:  # a cell the current matrix no longer defines
+            digest = f"cell:{row['cell']}"
+        entry = build_entry(
+            dataset_digest=digest,
+            miner=row["miner"],
+            min_sup=row["min_sup"],
+            mode="tp",
+            workers=int(row.get("workers", 1)),
+            extra_config={"cell": row["cell"], "matrix": report["matrix"]},
+            environment=environment,
+            wall_s=float(row["wall_s"]),
+            patterns=int(row["patterns"]),
+            counters=row["counters"],
+        )
+        appended.append(ledger.append(entry))
+    return appended
 
 
 def stderr_progress(message: str) -> None:

@@ -27,6 +27,7 @@ from typing import Any, Optional
 
 from repro.perf.baseline import (
     BASELINE_FILENAME,
+    append_report_to_ledger,
     load_report,
     run_matrix,
     stderr_progress,
@@ -55,6 +56,12 @@ def build_parser(prog: str = "repro.perf") -> argparse.ArgumentParser:
             "--quiet",
             action="store_true",
             help="suppress per-cell progress on stderr",
+        )
+        p.add_argument(
+            "--ledger-dir",
+            default=None,
+            help="also append every fresh cell to the run ledger here "
+            "(see 'ptpminer history')",
         )
 
     run_p = sub.add_parser("run", help="run a matrix, emit the report")
@@ -154,6 +161,20 @@ def _run_fresh(args: argparse.Namespace) -> dict[str, Any]:
     return run_matrix(args.matrix, progress=progress)
 
 
+def _maybe_append_ledger(
+    args: argparse.Namespace, report: dict[str, Any]
+) -> None:
+    """Append the report's cells to ``--ledger-dir`` when requested."""
+    if getattr(args, "ledger_dir", None) is None:
+        return
+    entries = append_report_to_ledger(report, args.ledger_dir)
+    print(
+        f"ledger: appended {len(entries)} cell run(s) to "
+        f"{Path(args.ledger_dir)}",
+        file=sys.stderr,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -165,6 +186,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "run":
             report = _run_fresh(args)
+            _maybe_append_ledger(args, report)
             text = json.dumps(report, indent=2, sort_keys=True)
             if args.out is None:
                 print(text)
@@ -179,6 +201,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 fresh = load_report(args.fresh)
             else:
                 fresh = _run_fresh(args)
+            _maybe_append_ledger(args, fresh)
             if args.fresh_out is not None:
                 write_report(fresh, args.fresh_out)
             result = compare_reports(
@@ -200,6 +223,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             except ValueError:
                 pass
             fresh = _run_fresh(args)
+            _maybe_append_ledger(args, fresh)
             write_report(fresh, args.baseline)
             print(f"wrote {args.baseline}", file=sys.stderr)
             if old is not None:

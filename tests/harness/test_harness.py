@@ -418,3 +418,99 @@ class TestCollectLive:
         )
         assert rows[0]["shard_imbalance"] is None
         assert "live" not in rows[0]
+
+
+class TestCollectCost:
+    def test_measure_attaches_cost_profile(self):
+        db = make_random_db(1, num_sequences=8)
+        miner = PTPMiner(0.4)
+        metrics = measure(
+            lambda: miner.mine(db), track_memory=False, collect_cost=True
+        )
+        profile = metrics.cost_profile
+        assert profile is not None
+        assert profile["kind"] == "repro-cost"
+        assert profile["roots"]
+        assert profile["levels"]["1"]["frequent"] == len(profile["roots"])
+
+    def test_cost_profile_none_by_default(self):
+        assert measure(lambda: 1, track_memory=False).cost_profile is None
+
+    def test_non_mining_callable_yields_empty_profile(self):
+        metrics = measure(
+            lambda: 3, track_memory=False, collect_cost=True
+        )
+        assert metrics.result == 3
+        assert metrics.cost_profile == {
+            "schema": 1, "kind": "repro-cost", "roots": {}, "levels": {},
+        }
+
+    def test_collect_cost_composes_with_other_flags(self):
+        from repro.engine import ShardedMiner
+
+        db = make_random_db(1, num_sequences=6)
+        miner = ShardedMiner(min_sup=0.4, workers=2, executor="serial")
+        metrics = measure(
+            lambda: miner.mine(db),
+            collect_obs=True,
+            collect_profile=True,
+            collect_live=True,
+            collect_cost=True,
+        )
+        assert metrics.obs is not None
+        assert metrics.profile is not None
+        assert metrics.live_summary is not None
+        assert metrics.cost_profile is not None
+        assert metrics.cost_profile["roots"]
+
+    def test_run_point_attaches_cost_and_fingerprint(self):
+        db = make_random_db(1, num_sequences=8)
+        runner = ExperimentRunner("demo")
+        rows = runner.run_point(
+            db, 0.4, [MinerSpec("ptpminer", lambda ms: PTPMiner(ms))],
+            collect_cost=True,
+        )
+        row = rows[0]
+        assert row["cost"]["roots"]
+        fingerprint = row["config_fingerprint"]
+        assert isinstance(fingerprint, str) and len(fingerprint) == 12
+        # The nested cost snapshot stays out of rendered tables; the
+        # fingerprint column stays in.
+        header = runner.result.table().splitlines()[2]
+        assert "config_fingerprint" in header
+        assert " cost " not in header
+
+    def test_fingerprint_joins_against_ledger_entries(self):
+        # A sweep row and a ledger entry built from the same run must
+        # share the fingerprint — that is the join key the sweep/ledger
+        # satellite promises.
+        from repro.obs.ledger import build_entry, dataset_digest
+
+        db = make_random_db(1, num_sequences=8)
+        runner = ExperimentRunner("demo")
+        (row,) = runner.run_point(
+            db, 0.4, [MinerSpec("ptpminer", lambda ms: PTPMiner(ms))]
+        )
+        entry = build_entry(
+            dataset_digest=dataset_digest(db),
+            miner="ptpminer",
+            min_sup=0.4,
+            mode="tp",
+            workers=1,
+            environment={"machine": "test"},
+            wall_s=row["runtime_s"],
+            patterns=row["patterns"],
+            counters={},
+            run_id="r1",
+            timestamp="2026-08-08T00:00:00+00:00",
+        )
+        assert entry["fingerprint"] == row["config_fingerprint"]
+
+    def test_rows_without_collect_cost_have_no_cost_key(self):
+        db = make_random_db(1, num_sequences=6)
+        runner = ExperimentRunner("demo")
+        (row,) = runner.run_point(
+            db, 0.4, [MinerSpec("ptp", lambda ms: PTPMiner(ms))]
+        )
+        assert "cost" not in row
+        assert row["config_fingerprint"]

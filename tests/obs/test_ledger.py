@@ -1,0 +1,382 @@
+"""Tests for the persistent run ledger (`repro.obs.ledger`).
+
+Covers the acceptance criteria directly: `diff_entries` flags an
+injected counter regression exactly and a timing regression
+noise-awarely; `history_report` feeds `history --check` only the latest
+pair's hard regressions.
+"""
+
+import json
+
+import pytest
+
+from repro.datagen import standard_dataset
+from repro.obs import costmodel
+from repro.obs.ledger import (
+    LEDGER_FILENAME,
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    build_entry,
+    config_fingerprint,
+    dataset_digest,
+    diff_entries,
+    history_report,
+    phase_seconds,
+    render_diff_markdown,
+    render_history_markdown,
+)
+from repro.perf.compare import Tolerance
+
+ENV = {"python": "3.x", "machine": "test"}
+OTHER_ENV = {"python": "3.y", "machine": "other"}
+
+
+def entry(
+    *,
+    run_id,
+    wall_s=1.0,
+    patterns=10,
+    counters=None,
+    environment=ENV,
+    min_sup=0.3,
+    cost_snapshot=None,
+    phases=None,
+    **kwargs,
+):
+    return build_entry(
+        dataset_digest="d" * 12,
+        miner="ptpminer",
+        min_sup=min_sup,
+        mode="tp",
+        workers=1,
+        environment=environment,
+        wall_s=wall_s,
+        patterns=patterns,
+        counters=counters or {"nodes_expanded": 41, "states_created": 7},
+        phases=phases,
+        cost_snapshot=cost_snapshot,
+        run_id=run_id,
+        timestamp="2026-08-08T00:00:00+00:00",
+        **kwargs,
+    )
+
+
+def cost_snapshot(states=3):
+    collector = costmodel.CostCollector()
+    collector.record_node(1, 2)
+    collector.record_frequent(1)
+    collector.record_root("e0+", 0.1, {}, {"states_created": states})
+    return collector.snapshot()
+
+
+class TestFingerprints:
+    def test_dataset_digest_is_content_based(self):
+        db = standard_dataset("tiny")
+        again = standard_dataset("tiny")
+        other = standard_dataset("tiny", num_sequences=5)
+        assert dataset_digest(db) == dataset_digest(again)
+        assert dataset_digest(db) != dataset_digest(other)
+        assert len(dataset_digest(db)) == 12
+
+    def test_config_fingerprint_key_order_is_irrelevant(self):
+        base = dict(
+            dataset_digest="abc", miner="ptpminer", min_sup=0.3, mode="tp"
+        )
+        a = config_fingerprint(**base, extra={"x": 1, "y": 2})
+        b = config_fingerprint(**base, extra={"y": 2, "x": 1})
+        assert a == b
+
+    def test_config_fingerprint_sensitive_to_each_axis(self):
+        base = dict(
+            dataset_digest="abc", miner="ptpminer", min_sup=0.3, mode="tp"
+        )
+        root = config_fingerprint(**base)
+        assert config_fingerprint(**{**base, "min_sup": 0.2}) != root
+        assert config_fingerprint(**{**base, "mode": "htp"}) != root
+        assert config_fingerprint(**base, workers=2) != root
+
+    def test_phase_seconds_parses_counter_keys(self):
+        snapshot = {
+            "counters": {
+                "phase_seconds[phase=mine]": 1.5,
+                "phase_seconds[phase=load]": 0.25,
+                "search.nodes_expanded": 12,
+            }
+        }
+        assert phase_seconds(snapshot) == {"mine": 1.5, "load": 0.25}
+
+
+class TestBuildEntry:
+    def test_shape_and_defaults(self):
+        made = entry(run_id="r1", phases={"mine": 1.0})
+        assert made["schema"] == LEDGER_SCHEMA_VERSION
+        assert made["kind"] == "repro-run"
+        assert made["fingerprint"] == config_fingerprint(
+            dataset_digest="d" * 12,
+            miner="ptpminer",
+            min_sup=0.3,
+            mode="tp",
+            workers=1,
+        )
+        assert made["counters"] == {"nodes_expanded": 41, "states_created": 7}
+        assert made["phases"] == {"mine": 1.0}
+        assert "cost" not in made
+
+    def test_cost_snapshot_stored_as_digest_plus_top_roots(self):
+        made = entry(run_id="r1", cost_snapshot=cost_snapshot())
+        assert made["cost"]["digest"] == costmodel.profile_digest(
+            cost_snapshot()
+        )
+        assert made["cost"]["top_roots"][0]["root"] == "e0+"
+
+    def test_generated_run_ids_are_distinct_per_content(self):
+        a = build_entry(
+            dataset_digest="a" * 12,
+            miner="ptpminer",
+            min_sup=0.3,
+            mode="tp",
+            environment=ENV,
+            wall_s=1.0,
+            patterns=1,
+            counters={},
+            timestamp="2026-08-08T00:00:00+00:00",
+        )
+        b = build_entry(
+            dataset_digest="b" * 12,
+            miner="ptpminer",
+            min_sup=0.3,
+            mode="tp",
+            environment=ENV,
+            wall_s=1.0,
+            patterns=1,
+            counters={},
+            timestamp="2026-08-08T00:00:00+00:00",
+        )
+        assert a["run_id"] != b["run_id"]
+        assert ":" not in a["run_id"]
+
+
+class TestRunLedger:
+    def test_append_then_read_round_trips(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        stored = ledger.append(entry(run_id="r1"))
+        ledger.append(entry(run_id="r2"))
+        assert ledger.path.name == LEDGER_FILENAME
+        got = ledger.entries()
+        assert [e["run_id"] for e in got] == ["r1", "r2"]
+        assert got[0] == stored
+
+    def test_append_validates_entries(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        bad = entry(run_id="r1")
+        bad["schema"] = 99
+        with pytest.raises(ValueError):
+            ledger.append(bad)
+        with pytest.raises(ValueError):
+            ledger.append({**entry(run_id="r1"), "kind": "other"})
+        with pytest.raises(ValueError):
+            ledger.append({**entry(run_id="r1"), "run_id": ""})
+
+    def test_entries_tolerates_garbage_lines(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(entry(run_id="r1"))
+        with_garbage = ledger.path.read_text() + "{not json\n" + (
+            json.dumps({"schema": 99, "kind": "repro-run"}) + "\n"
+        )
+        ledger.path.write_text(with_garbage)
+        with pytest.warns(RuntimeWarning, match="skipped 2"):
+            got = ledger.entries()
+        assert [e["run_id"] for e in got] == ["r1"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert RunLedger(tmp_path / "nowhere").entries() == []
+
+    def test_find_by_exact_id_prefix_and_errors(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(entry(run_id="20260808-aaaa"))
+        ledger.append(entry(run_id="20260808-bbbb"))
+        assert ledger.find("20260808-aaaa")["run_id"] == "20260808-aaaa"
+        assert ledger.find("20260808-b")["run_id"] == "20260808-bbbb"
+        with pytest.raises(ValueError, match="ambiguous"):
+            ledger.find("20260808")
+        with pytest.raises(ValueError, match="no run matching"):
+            ledger.find("zzz")
+
+
+class TestHistoryReport:
+    def test_groups_by_fingerprint_in_append_order(self):
+        entries = [
+            entry(run_id="a1"),
+            entry(run_id="b1", min_sup=0.2),
+            entry(run_id="a2"),
+        ]
+        report = history_report(entries)
+        by_fp = {
+            g["fingerprint"]: [r["run_id"] for r in g["runs"]]
+            for g in report["groups"]
+        }
+        assert sorted(by_fp.values()) == [["a1", "a2"], ["b1"]]
+        assert report["regressions"] == []
+
+    def test_counter_drift_is_flagged_exactly(self):
+        entries = [
+            entry(run_id="r1"),
+            entry(
+                run_id="r2",
+                counters={"nodes_expanded": 48, "states_created": 7},
+            ),
+        ]
+        report = history_report(entries)
+        (finding,) = report["regressions"]
+        assert finding["metric"] == "counters.nodes_expanded"
+        assert (finding["base"], finding["fresh"]) == (41, 48)
+
+    def test_wall_jitter_within_tolerance_is_quiet(self):
+        entries = [
+            entry(run_id="r1", wall_s=1.0),
+            entry(run_id="r2", wall_s=1.2),
+        ]
+        report = history_report(entries)
+        assert report["regressions"] == []
+        assert report["warnings"] == []
+
+    def test_wall_regression_is_noise_aware(self):
+        entries = [
+            entry(run_id="r1", wall_s=1.0),
+            entry(run_id="r2", wall_s=11.0),
+        ]
+        (finding,) = history_report(entries)["regressions"]
+        assert finding["metric"] == "wall_s"
+
+    def test_env_mismatch_downgrades_timing_to_warning(self):
+        entries = [
+            entry(run_id="r1", wall_s=1.0),
+            entry(run_id="r2", wall_s=11.0, environment=OTHER_ENV),
+        ]
+        report = history_report(entries)
+        assert report["regressions"] == []
+        (warning,) = report["warnings"]
+        assert warning["metric"] == "wall_s"
+        assert warning["severity"] == "warning"
+
+    def test_cost_digest_shift_is_flagged(self):
+        entries = [
+            entry(run_id="r1", cost_snapshot=cost_snapshot(states=3)),
+            entry(run_id="r2", cost_snapshot=cost_snapshot(states=9)),
+        ]
+        metrics = {
+            f["metric"] for f in history_report(entries)["regressions"]
+        }
+        assert "cost.digest" in metrics
+
+    def test_check_gates_on_latest_pair_only(self):
+        # r2 regressed but r3 recovered: the latest pair is clean, so the
+        # old regression is demoted to a warning and --check would pass.
+        entries = [
+            entry(run_id="r1", patterns=10),
+            entry(run_id="r2", patterns=8),
+            entry(run_id="r3", patterns=10),
+        ]
+        report = history_report(entries)
+        reg_runs = {f["run_id"] for f in report["regressions"]}
+        warn_runs = {f["run_id"] for f in report["warnings"]}
+        assert "r2" not in reg_runs
+        assert "r2" in warn_runs
+        # r3 flips patterns back; that *is* the latest pair.
+        assert reg_runs == {"r3"}
+
+    def test_custom_tolerance_is_respected(self):
+        entries = [
+            entry(run_id="r1", wall_s=1.0),
+            entry(run_id="r2", wall_s=1.4),
+        ]
+        loose = history_report(entries)
+        strict = history_report(
+            entries, tolerance=Tolerance(time_rtol=0.1, time_abs_s=0.05)
+        )
+        assert loose["regressions"] == []
+        assert any(
+            f["metric"] == "wall_s" for f in strict["regressions"]
+        )
+
+    def test_markdown_renders_groups_and_summary(self):
+        entries = [entry(run_id="r1"), entry(run_id="r2", patterns=9)]
+        report = history_report(entries)
+        text = render_history_markdown(report)
+        assert "# Run history" in text
+        assert "`r1`" in text and "`r2`" in text
+        assert "1 regression(s)" in text
+
+    def test_markdown_empty_ledger(self):
+        text = render_history_markdown(history_report([]))
+        assert "_Ledger is empty._" in text
+
+
+class TestDiffEntries:
+    def test_injected_counter_regression_is_exact(self):
+        a = entry(run_id="a")
+        b = entry(
+            run_id="b", counters={"nodes_expanded": 48, "states_created": 7}
+        )
+        diff = diff_entries(a, b)
+        (row,) = diff["counters"]
+        assert row == {
+            "counter": "nodes_expanded",
+            "a": 41,
+            "b": 48,
+            "delta": 7,
+        }
+        assert diff["has_regressions"] is True
+
+    def test_timing_regression_is_noise_aware(self):
+        a = entry(run_id="a", wall_s=1.0)
+        ok = diff_entries(a, entry(run_id="b", wall_s=1.2))
+        bad = diff_entries(a, entry(run_id="c", wall_s=11.0))
+        assert ok["wall_s"]["verdict"] == "ok"
+        assert ok["has_regressions"] is False
+        assert bad["wall_s"]["verdict"] == "regression"
+        assert bad["has_regressions"] is True
+
+    def test_env_mismatch_downgrades_wall_verdict(self):
+        a = entry(run_id="a", wall_s=1.0)
+        b = entry(run_id="b", wall_s=11.0, environment=OTHER_ENV)
+        diff = diff_entries(a, b)
+        assert diff["env_match"] is False
+        assert diff["wall_s"]["verdict"] == "warning"
+        assert diff["has_regressions"] is False
+
+    def test_phase_rows_get_verdicts(self):
+        a = entry(run_id="a", phases={"mine": 1.0, "load": 0.1})
+        b = entry(run_id="b", phases={"mine": 11.0, "load": 0.1})
+        diff = diff_entries(a, b)
+        verdicts = {row["phase"]: row["verdict"] for row in diff["phases"]}
+        assert verdicts == {"mine": "regression", "load": "ok"}
+
+    def test_top_roots_joined_by_name(self):
+        a = entry(run_id="a", cost_snapshot=cost_snapshot(states=3))
+        b = entry(run_id="b", cost_snapshot=cost_snapshot(states=9))
+        diff = diff_entries(a, b)
+        assert diff["cost"]["changed"] is True
+        (row,) = diff["cost"]["top_roots"]
+        assert row["root"] == "e0+"
+        assert (row["states_a"], row["states_b"]) == (3, 9)
+
+    def test_markdown_mentions_verdict_and_caveats(self):
+        a = entry(run_id="a", cost_snapshot=cost_snapshot(states=3))
+        b = entry(
+            run_id="b",
+            min_sup=0.2,
+            environment=OTHER_ENV,
+            cost_snapshot=cost_snapshot(states=9),
+        )
+        text = render_diff_markdown(diff_entries(a, b))
+        assert "Config fingerprints differ" in text
+        assert "Environment fingerprints differ" in text
+        assert "Heaviest-root shifts" in text
+
+    def test_markdown_clean_diff_says_no_regressions(self):
+        a = entry(run_id="a")
+        b = entry(run_id="b")
+        text = render_diff_markdown(diff_entries(a, b))
+        assert "Counters identical." in text
+        assert "**No regressions.**" in text

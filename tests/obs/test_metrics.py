@@ -197,6 +197,38 @@ class TestAbsorbSnapshot:
         assert merged["buckets"]["inf"] == 1
         assert merged["sum"] == pytest.approx(0.5 + 1.5 + 0.7 + 99.0)
 
+    def test_histogram_bucketwise_add_into_existing_histogram(self):
+        # Absorbing into a registry that already owns a same-bound
+        # histogram must add counts per bucket, never reset or re-bin.
+        parent = MetricsRegistry()
+        own = parent.histogram("lat", buckets=[1.0, 2.0])
+        own.observe(0.5)
+        own.observe(1.5)
+        worker = MetricsRegistry()
+        hist = worker.histogram("lat", buckets=[1.0, 2.0])
+        hist.observe(0.25)
+        hist.observe(5.0)
+        parent.absorb_snapshot(worker.snapshot())
+        merged = parent.snapshot()["histograms"]["lat"]
+        assert merged["buckets"] == {"le_1": 2, "le_2": 1, "inf": 1}
+        assert merged["count"] == 4
+        assert merged["sum"] == pytest.approx(0.5 + 1.5 + 0.25 + 5.0)
+
+    def test_histogram_mismatched_bounds_fall_into_overflow(self):
+        # A shard whose histogram bounds drifted from the parent's must
+        # not silently re-bin: unknown bounds land in overflow so the
+        # total observation count is never lost.
+        parent = MetricsRegistry()
+        parent.histogram("lat", buckets=[1.0, 2.0]).observe(0.5)
+        worker = MetricsRegistry()
+        drifted = worker.histogram("lat", buckets=[3.0]).observe(0.5)
+        assert drifted is None  # observe returns nothing; sanity only
+        parent.absorb_snapshot(worker.snapshot())
+        merged = parent.snapshot()["histograms"]["lat"]
+        assert merged["buckets"]["le_1"] == 1  # parent's own observation
+        assert merged["buckets"]["inf"] == 1  # drifted le_3 count
+        assert merged["count"] == 2
+
     def test_rendered_label_keys_survive_verbatim(self):
         worker = MetricsRegistry()
         worker.counter("phase_seconds", phase="search").inc(2)

@@ -358,3 +358,94 @@ class TestDeprecatedFactories:
 
         with pytest.raises(ValueError, match="unknown miner"):
             MINER_FACTORIES["nope"]
+
+
+class TestLedgerGlue:
+    def test_append_report_to_ledger_one_entry_per_cell(
+        self, tiny_report, tmp_path
+    ):
+        from repro.obs.ledger import RunLedger
+        from repro.perf.baseline import append_report_to_ledger
+
+        entries = append_report_to_ledger(tiny_report, tmp_path)
+        assert len(entries) == len(tiny_report["cells"])
+        stored = RunLedger(tmp_path).entries()
+        assert [e["run_id"] for e in stored] == [
+            e["run_id"] for e in entries
+        ]
+        for row, entry in zip(tiny_report["cells"], stored):
+            assert entry["config"]["cell"] == row["cell"]
+            assert entry["config"]["matrix"] == tiny_report["matrix"]
+            assert entry["counters"] == row["counters"]
+            assert entry["patterns"] == row["patterns"]
+            assert entry["environment"] == tiny_report["environment"]
+            # Dataset digests come from regenerated cell databases, not
+            # a placeholder.
+            assert not entry["config"]["dataset_digest"].startswith("cell:")
+
+    def test_cell_ids_fold_into_distinct_fingerprints(
+        self, tiny_report, tmp_path
+    ):
+        from repro.perf.baseline import append_report_to_ledger
+
+        entries = append_report_to_ledger(tiny_report, tmp_path)
+        fingerprints = [e["fingerprint"] for e in entries]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_repeated_appends_trend_under_one_fingerprint(
+        self, tiny_report, tmp_path
+    ):
+        from repro.obs.ledger import RunLedger, history_report
+        from repro.perf.baseline import append_report_to_ledger
+
+        append_report_to_ledger(tiny_report, tmp_path)
+        append_report_to_ledger(tiny_report, tmp_path)
+        report = history_report(RunLedger(tmp_path).entries())
+        assert all(
+            len(group["runs"]) == 2 for group in report["groups"]
+        )
+        # Identical runs: exact comparisons are all clean.
+        assert report["regressions"] == []
+
+    def test_unknown_cell_gets_placeholder_digest(
+        self, tiny_report, tmp_path
+    ):
+        import copy as _copy
+
+        from repro.perf.baseline import append_report_to_ledger
+
+        report = _copy.deepcopy(tiny_report)
+        report["cells"][0]["cell"] = "retired/cell"
+        entries = append_report_to_ledger(report, tmp_path)
+        assert entries[0]["config"]["dataset_digest"] == "cell:retired/cell"
+
+    def test_cli_run_appends_to_ledger(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir = tmp_path / "ledger"
+        assert main(
+            ["run", "--matrix", "tiny", "--quiet",
+             "--out", str(tmp_path / "bench.json"),
+             "--ledger-dir", str(ledger_dir)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "ledger: appended" in err
+        stored = RunLedger(ledger_dir).entries()
+        assert len(stored) == len(matrix_cells("tiny"))
+
+    def test_cli_compare_appends_fresh_run_to_ledger(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.ledger import RunLedger
+
+        base = tmp_path / "base.json"
+        ledger_dir = tmp_path / "ledger"
+        assert main(
+            ["run", "--matrix", "tiny", "--quiet", "--out", str(base)]
+        ) == 0
+        assert main(
+            ["compare", "--matrix", "tiny", "--quiet",
+             "--baseline", str(base), "--ledger-dir", str(ledger_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert RunLedger(ledger_dir).entries()

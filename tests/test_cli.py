@@ -470,3 +470,219 @@ class TestLintSubcommand:
         capsys.readouterr()
         assert main(["lint", str(dirty_file.parent / "nope.py")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestCostProfileFlag:
+    def test_cost_profile_writes_json(self, tiny_file, tmp_path, capsys):
+        out = tmp_path / "cost.json"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--cost-profile", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "cost profile" in err
+        import json
+
+        profile = json.loads(out.read_text())
+        assert profile["kind"] == "repro-cost"
+        assert profile["roots"]
+        assert profile["levels"]["1"]["frequent"] == len(profile["roots"])
+
+    def test_cost_profile_identical_serial_vs_workers(
+        self, tiny_file, tmp_path, capsys
+    ):
+        import json
+
+        from repro.obs.costmodel import profile_digest
+
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--cost-profile", str(serial)]) == 0
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--workers", "3", "--cost-profile",
+                     str(sharded)]) == 0
+        capsys.readouterr()
+        a = json.loads(serial.read_text())
+        b = json.loads(sharded.read_text())
+        assert profile_digest(a) == profile_digest(b)
+
+    def test_cost_profile_requires_ptpminer(self, tiny_file, tmp_path,
+                                            capsys):
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--miner", "tprefixspan",
+                     "--cost-profile", str(tmp_path / "c.json")]) == 2
+        assert "ptpminer" in capsys.readouterr().err
+
+
+class TestLedgerFlags:
+    def test_mine_appends_ledger_entry(self, tiny_file, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir = tmp_path / "ledger"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--ledger-dir", str(ledger_dir)]) == 0
+        err = capsys.readouterr().err
+        assert "ledger: appended run" in err
+        (entry,) = RunLedger(ledger_dir).entries()
+        assert entry["config"]["miner"] == "ptpminer"
+        assert entry["config"]["min_sup"] == 0.3
+        assert entry["patterns"] > 0
+        assert entry["counters"]
+        assert entry["phases"]  # registry captured phase timings
+        assert entry["cost"]["digest"]  # cost collected for ptpminer
+
+    def test_ledger_entries_share_fingerprint_across_reruns(
+        self, tiny_file, tmp_path, capsys
+    ):
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir = tmp_path / "ledger"
+        for _ in range(2):
+            assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                         "--ledger-dir", str(ledger_dir)]) == 0
+        capsys.readouterr()
+        first, second = RunLedger(ledger_dir).entries()
+        assert first["fingerprint"] == second["fingerprint"]
+        assert first["cost"]["digest"] == second["cost"]["digest"]
+        assert first["run_id"] != second["run_id"]
+
+
+class TestHistorySubcommand:
+    @pytest.fixture
+    def ledger_dir(self, tiny_file, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        for _ in range(2):
+            assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                         "--ledger-dir", str(ledger_dir)]) == 0
+        capsys.readouterr()
+        return ledger_dir
+
+    def test_history_renders_markdown(self, ledger_dir, capsys):
+        assert main(["history", "--ledger-dir", str(ledger_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "# Run history" in out
+        assert "0 regression(s)" in out
+
+    def test_history_json_and_out_file(self, ledger_dir, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "history.json"
+        assert main(["history", "--ledger-dir", str(ledger_dir),
+                     "--json", "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        report = json.loads(out_path.read_text())
+        assert report["kind"] == "repro-history"
+        assert len(report["groups"]) == 1
+        assert len(report["groups"][0]["runs"]) == 2
+
+    def test_check_clean_exits_zero(self, ledger_dir, capsys):
+        assert main(["history", "--ledger-dir", str(ledger_dir),
+                     "--check"]) == 0
+        capsys.readouterr()
+
+    def test_check_regressed_ledger_exits_one(self, ledger_dir, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(ledger_dir)
+        first, second = ledger.entries()
+        tampered = dict(second)
+        tampered["run_id"] = second["run_id"] + "-regressed"
+        tampered["counters"] = dict(second["counters"])
+        tampered["counters"]["nodes_expanded"] += 10
+        ledger.append(tampered)
+        assert main(["history", "--ledger-dir", str(ledger_dir),
+                     "--check"]) == 1
+        captured = capsys.readouterr()
+        assert "regression" in captured.err
+        assert "counters.nodes_expanded" in captured.out
+
+    def test_empty_ledger_is_ok(self, tmp_path, capsys):
+        assert main(["history", "--ledger-dir",
+                     str(tmp_path / "empty")]) == 0
+        assert "_Ledger is empty._" in capsys.readouterr().out
+
+
+class TestDiffSubcommand:
+    @pytest.fixture
+    def two_runs(self, tiny_file, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir = tmp_path / "ledger"
+        for _ in range(2):
+            assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                         "--ledger-dir", str(ledger_dir)]) == 0
+        capsys.readouterr()
+        a, b = RunLedger(ledger_dir).entries()
+        return ledger_dir, a, b
+
+    def test_diff_identical_runs_exits_zero(self, two_runs, capsys):
+        ledger_dir, a, b = two_runs
+        assert main(["diff", a["run_id"], b["run_id"],
+                     "--ledger-dir", str(ledger_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "# Run diff" in out
+        assert "Counters identical." in out
+        assert "**No regressions.**" in out
+
+    def test_diff_flags_injected_counter_regression(self, two_runs,
+                                                    capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir, a, b = two_runs
+        tampered = dict(b)
+        tampered["run_id"] = "tampered-run"
+        tampered["counters"] = dict(b["counters"])
+        tampered["counters"]["nodes_expanded"] += 7
+        RunLedger(ledger_dir).append(tampered)
+        assert main(["diff", a["run_id"], "tampered-run",
+                     "--ledger-dir", str(ledger_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "nodes_expanded" in out
+        assert "+7" in out
+        assert "**Regressions detected.**" in out
+
+    def test_diff_json_output(self, two_runs, tmp_path, capsys):
+        import json
+
+        ledger_dir, a, b = two_runs
+        out_path = tmp_path / "diff.json"
+        assert main(["diff", a["run_id"], b["run_id"],
+                     "--ledger-dir", str(ledger_dir),
+                     "--json", "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        diff = json.loads(out_path.read_text())
+        assert diff["kind"] == "repro-diff"
+        assert diff["has_regressions"] is False
+
+    def test_diff_unknown_ref_exits_two(self, two_runs, capsys):
+        ledger_dir, a, _ = two_runs
+        assert main(["diff", a["run_id"], "zzz",
+                     "--ledger-dir", str(ledger_dir)]) == 2
+        assert "no run matching" in capsys.readouterr().err
+
+
+class TestReportGracefulDegradation:
+    def test_metrics_only_report_carries_notes(self, tiny_file, tmp_path,
+                                               capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "## Prune funnel" in out
+        assert "## Notes" in out
+        assert "no trace given" in out
+
+    def test_full_report_has_no_notes(self, tiny_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        log = tmp_path / "frames.jsonl"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--workers", "2", "--live-log", str(log),
+                     "--live-interval", "0", "--trace", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--trace", str(trace),
+                     "--metrics", str(metrics),
+                     "--live-log", str(log)]) == 0
+        assert "## Notes" not in capsys.readouterr().out

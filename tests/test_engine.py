@@ -8,6 +8,7 @@ to make that guarantee hold across process boundaries.
 """
 
 import io
+import json
 import pickle
 
 import pytest
@@ -23,9 +24,11 @@ from repro.engine import (
     plan_shards,
 )
 from repro.model.database import ESequenceDatabase
+from repro.obs import costmodel as obs_costmodel
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.clock import ManualClock, clock_scope
 
 
 @pytest.fixture(scope="module")
@@ -231,6 +234,60 @@ class TestObsMerge:
             )
         names = set(collector.span_names())
         assert {"mine", "plan_root", "shards", "merge"} <= names
+
+
+class TestCostProfileMerge:
+    """Cost profiles must be bit-for-bit identical to a serial run's.
+
+    Under a frozen :class:`ManualClock` every wall delta is exactly
+    0.0 in both serial and sharded runs (the process executor inherits
+    the installed clock via fork), so full-snapshot JSON equality — not
+    just digest equality — is the right assertion.
+    """
+
+    @staticmethod
+    def serial_profile(db, config):
+        with clock_scope(ManualClock()):
+            with obs_costmodel.use_collector() as collector:
+                PTPMiner.from_config(config).mine(db)
+        return collector.snapshot()
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    @pytest.mark.parametrize("executor", sorted(EXECUTORS))
+    def test_sharded_profile_is_bit_for_bit_serial(
+        self, tiny_db, workers, executor
+    ):
+        config = MinerConfig(min_sup=0.3)
+        serial = self.serial_profile(tiny_db, config)
+        with clock_scope(ManualClock()):
+            with obs_costmodel.use_collector() as collector:
+                mine_sharded(
+                    tiny_db, config, workers=workers, executor=executor
+                )
+        assert json.dumps(
+            collector.snapshot(), sort_keys=True
+        ) == json.dumps(serial, sort_keys=True)
+
+    def test_profile_digest_matches_serial_with_real_clock(self, tiny_db):
+        # Without a frozen clock wall times differ, but the digest
+        # excludes them: same search space, same digest.
+        config = MinerConfig(min_sup=0.3)
+        with obs_costmodel.use_collector() as serial_collector:
+            PTPMiner.from_config(config).mine(tiny_db)
+        with obs_costmodel.use_collector() as sharded_collector:
+            mine_sharded(tiny_db, config, workers=3, executor="serial")
+        assert obs_costmodel.profile_digest(
+            sharded_collector.snapshot()
+        ) == obs_costmodel.profile_digest(serial_collector.snapshot())
+
+    def test_no_collector_means_no_shipped_cost(self, tiny_db):
+        # The disabled path ships empty cost dicts and installs nothing.
+        assert obs_costmodel.active_collector() is None
+        result = mine_sharded(
+            tiny_db, MinerConfig(min_sup=0.3), workers=2, executor="serial"
+        )
+        assert result.patterns
+        assert obs_costmodel.active_collector() is None
 
 
 class TestShardedMiner:

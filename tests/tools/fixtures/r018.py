@@ -1,0 +1,34 @@
+"""R018 fixture: ledger files may only be written via repro.obs.ledger.
+
+Linted under the synthetic path ``src/repro/obs/demo18.py`` so the
+production pass scoping (every non-test repro module except
+``repro.obs.ledger`` itself) applies directly.
+"""
+
+import json
+from pathlib import Path
+
+
+def bad_builtin_append(ledger_dir, entry):
+    ledger_path = Path(ledger_dir) / "ledger.jsonl"
+    with open(ledger_path, "a", encoding="utf-8") as handle:  # expect: R018
+        handle.write(json.dumps(entry) + "\n")
+
+
+def bad_path_open(ledger_dir):
+    with (ledger_dir / "ledger.jsonl").open("w") as handle:  # expect: R018
+        handle.write("{}\n")
+
+
+def bad_write_text(ledger_path, text):
+    ledger_path.write_text(text, encoding="utf-8")  # expect: R018
+
+
+def ok_read(ledger_path):
+    with open(ledger_path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def ok_unrelated_write(report_path, text):
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from tools.repro_lint.passes.boundary import BoundaryPass
 from tools.repro_lint.passes.coverage import CoveragePass
 from tools.repro_lint.passes.determinism import DeterminismPass
+from tools.repro_lint.passes.ledger import LedgerPass
 from tools.repro_lint.passes.purity import PurityPass
 from tools.repro_lint.passes.suppressions import SUPPRESSION_RULES, audit
 
@@ -27,6 +28,7 @@ __all__ = [
     "BoundaryPass",
     "CoveragePass",
     "DeterminismPass",
+    "LedgerPass",
     "PurityPass",
 ]
 
@@ -37,6 +39,7 @@ ALL_PASSES = (
     BoundaryPass(),
     PurityPass(),
     CoveragePass(),
+    LedgerPass(),
 )
 
 #: code -> one-line summary for every deep rule, R017 included. The

@@ -47,6 +47,7 @@ MERGE_SEEDS = (
     "repro.core.pruning.PruneCounters.publish",
     "repro.obs.metrics.MetricsRegistry.absorb",
     "repro.obs.metrics.MetricsRegistry.absorb_snapshot",
+    "repro.obs.costmodel.CostCollector.absorb",
     "repro.obs.live.LiveAggregator.ingest",
     "repro.obs.live.LiveAggregator.summary",
     "repro.obs.live.LiveAggregator.eta_s",
@@ -64,6 +65,7 @@ MERGE_MODULES = (
     "repro.obs.metrics",
     "repro.obs.live",
     "repro.obs.trace",
+    "repro.obs.costmodel",
 )
 
 _EMITTING_METHODS = frozenset({"append", "extend", "insert"})
