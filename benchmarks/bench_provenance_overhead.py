@@ -1,0 +1,164 @@
+"""Disabled-path overhead check for the provenance seam.
+
+The provenance collector hooks the PTPMiner search loop through a
+module-global seam (``repro.obs.provenance.active_collector``). When no
+collector is installed every hook site pays only a hoisted local load
+and an ``is not None`` test, which must stay in the noise (budget:
+<= ~1% median on wall time).
+
+Unlike the cost seam (``bench_cost_overhead.py``), the collector-ON arm
+is *not* a usable upper bound here: provenance records every emitted
+pattern's support set and every prune decision, which is deliberately
+heavy (tens of percent). So this script measures the disabled path
+directly: it builds a hook-free twin of ``repro.core.ptpminer`` by
+stripping every provenance statement from the module AST, verifies the
+twin mines identical results, and times interleaved A/B pairs --
+stripped (no hooks at all) vs. shipped (hooks present, collector off)
+-- so slow clock drift and thermal ramp cancel out instead of biasing
+one arm. The collector-ON cost is reported once for context.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_provenance_overhead.py --pairs 7
+
+Prints per-pair timings and the median relative overhead. Standalone
+(no pytest); run manually when the search hot path changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import statistics
+import sys
+import time
+import types
+from collections.abc import Sequence
+
+import repro.core.ptpminer as _ptpminer_module
+from repro.core.config import MinerConfig
+from repro.core.ptpminer import PTPMiner
+from repro.datagen import standard_dataset
+from repro.obs import provenance
+
+NUM_SEQUENCES = 400
+MIN_SUP = 0.08
+
+#: Names that exist only to feed the provenance seam. Every statement
+#: mentioning one of them (or the seam module alias) is a hook.
+_HOOK_NAMES = frozenset(
+    {"prov", "prov_root", "span_skipped", "decode_extended", "cand_root",
+     "obs_provenance"}
+)
+
+
+class _StripHooks(ast.NodeTransformer):
+    """Drop every statement that touches a provenance-only name."""
+
+    def _is_hook(self, node: ast.stmt) -> bool:
+        if isinstance(node, ast.FunctionDef) and node.name in _HOOK_NAMES:
+            return True  # e.g. decode_extended: only hook sites call it
+        return any(
+            isinstance(inner, ast.Name) and inner.id in _HOOK_NAMES
+            for inner in ast.walk(node)
+        )
+
+    def generic_visit(self, node: ast.AST) -> ast.AST:
+        node = super().generic_visit(node)
+        for field in ("body", "orelse", "finalbody"):
+            stmts = getattr(node, field, None)
+            if isinstance(stmts, list) and stmts and (
+                isinstance(stmts[0], (ast.stmt, ast.Pass))
+            ):
+                kept = [s for s in stmts if not self._is_hook(s)]
+                if not kept and field == "body":
+                    kept = [ast.Pass()]
+                setattr(node, field, kept)
+        return node
+
+
+def build_stripped_miner() -> type:
+    """A PTPMiner twin compiled from hook-free module source."""
+    source_file = _ptpminer_module.__file__
+    assert source_file is not None
+    with open(source_file, encoding="utf-8") as handle:
+        tree = ast.parse(handle.read())
+    tree = ast.fix_missing_locations(_StripHooks().visit(tree))
+    stripped = "\n".join(
+        line
+        for line in ast.unparse(tree).splitlines()
+        if "obs_provenance" not in line  # the import itself
+    )
+    module = types.ModuleType("repro.core._ptpminer_hookfree")
+    module.__file__ = source_file
+    # dataclass machinery resolves string annotations through
+    # sys.modules[cls.__module__], so the twin must be importable.
+    sys.modules[module.__name__] = module
+    exec(  # noqa: S102 -- our own transformed source
+        compile(stripped, source_file, "exec"), module.__dict__
+    )
+    return module.PTPMiner
+
+
+def _time_mine(db, config, miner_cls, *, collect: bool = False) -> float:
+    miner = miner_cls.from_config(config)
+    if collect:
+        with provenance.use_collector():
+            t0 = time.perf_counter()
+            miner.mine(db)
+            return time.perf_counter() - t0
+    t0 = time.perf_counter()
+    miner.mine(db)
+    return time.perf_counter() - t0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pairs", type=int, default=7, help="number of A/B pairs"
+    )
+    args = parser.parse_args(argv)
+
+    db = standard_dataset("sparse", num_sequences=NUM_SEQUENCES)
+    config = MinerConfig(min_sup=MIN_SUP)
+    stripped_cls = build_stripped_miner()
+
+    # The twin must be behaviourally identical before its timings mean
+    # anything.
+    reference = PTPMiner.from_config(config).mine(db)
+    twin = stripped_cls.from_config(config).mine(db)
+    assert twin.as_dict() == reference.as_dict(), (
+        "hook-free twin disagrees with the shipped miner"
+    )
+
+    # Warm-up: one run of each arm so import/alloc effects hit neither.
+    _time_mine(db, config, stripped_cls)
+    _time_mine(db, config, PTPMiner)
+
+    ratios = []
+    for pair in range(args.pairs):
+        hookfree = _time_mine(db, config, stripped_cls)
+        disabled = _time_mine(db, config, PTPMiner)
+        ratios.append(disabled / hookfree - 1.0)
+        print(
+            f"pair {pair}: hook-free={hookfree:.4f}s "
+            f"disabled={disabled:.4f}s "
+            f"overhead={100 * ratios[-1]:+.2f}%"
+        )
+
+    median = statistics.median(ratios)
+    print(f"median disabled-path overhead: {100 * median:+.2f}% "
+          "(budget <= ~1%)")
+
+    on = _time_mine(db, config, PTPMiner, collect=True)
+    off = _time_mine(db, config, PTPMiner)
+    print(
+        f"for context, collector-ON costs {100 * (on / off - 1.0):+.1f}% "
+        "-- provenance records every pattern's support set and every "
+        "prune decision, so enable it for audits, not benchmarks."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,11 +22,26 @@ Subcommands
     Trend table over a run ledger (``mine --ledger-dir``), grouped by
     config fingerprint, with noise-aware regression flags reusing the
     perf tolerances; ``--check`` exits 1 when the latest run of any
-    config regressed (for CI).
+    config regressed (for CI); ``--limit N`` shows only the most
+    recent N runs per config (flags are still computed over all runs).
 ``diff``
     Compare two ledger runs by id (or unique id prefix): exact counter
     deltas, phase-wall deltas with tolerance verdicts, heaviest-root
-    shifts. Exits 1 when the diff shows a hard regression.
+    shifts. Exits 1 when the diff shows a hard regression. With
+    ``--patterns`` the two arguments are provenance snapshot files
+    (``mine --provenance``) or ledger run ids whose entries recorded
+    one, and the diff is pattern-level: every added/removed pattern is
+    attributed to the prune decision that killed it in the other run.
+``explain``
+    Why is this pattern in the result? Reads a provenance snapshot
+    (``mine --provenance``) and reports the pattern's support set, one
+    witness occurrence per supporting sequence, and its pruned
+    siblings. Exits 2 with a parse hint on malformed pattern strings.
+``why-not``
+    Why is this pattern *not* in the result? Walks the recorded
+    candidate tree: pruned-with-rule (which rule, where) vs never
+    generated because a prefix died vs label point-pruned vs the
+    arrangement simply never occurs. Same parse-hint contract.
 ``lint``
     Run the project's static analyzer (``tools/repro_lint``) over the
     checkout: per-file rules plus, by default, the deep project-graph
@@ -51,10 +66,15 @@ callouts to stderr during the run (sharded engine; see
 :mod:`repro.obs.live`); ``--live-log FILE`` additionally appends every
 heartbeat frame as JSONL for ``ptpminer report``.
 ``--cost-profile FILE`` writes the per-root / per-level search cost
-profile (:mod:`repro.obs.costmodel`) as JSON, and ``--ledger-dir DIR``
-appends the run — config/environment fingerprints, phase timings,
-counters, cost digest with heaviest roots — to the persistent run
-ledger (:mod:`repro.obs.ledger`) read by ``history`` and ``diff``.
+profile (:mod:`repro.obs.costmodel`) as JSON,
+``--provenance FILE`` (alias ``--explain-out``) records pattern
+provenance and prune decisions (:mod:`repro.obs.provenance`) as JSON
+for ``explain``/``why-not``/``diff --patterns``, and
+``--ledger-dir DIR`` appends the run — config/environment
+fingerprints, phase timings, counters, cost digest with heaviest
+roots, and an order-independent digest of the result's pattern set —
+to the persistent run ledger (:mod:`repro.obs.ledger`) read by
+``history`` and ``diff``.
 
 Examples
 --------
@@ -67,7 +87,11 @@ Examples
     ptpminer mine sparse.txt --workers 4 --live --live-log frames.jsonl
     ptpminer report --trace trace.jsonl --live-log frames.jsonl
     ptpminer mine sparse.txt --cost-profile cost.json --ledger-dir runs/
-    ptpminer history --ledger-dir runs/ --check
+    ptpminer mine sparse.txt --provenance prov.json
+    ptpminer explain "(A+) (A-)" --provenance prov.json
+    ptpminer why-not "(A+ B+) (A- B-)" --provenance prov.json
+    ptpminer diff --patterns prov-a.json prov-b.json
+    ptpminer history --ledger-dir runs/ --check --limit 10
     ptpminer diff 2026 2026-08 --ledger-dir runs/
     ptpminer stats sparse.txt
 """
@@ -81,6 +105,7 @@ import sys
 from collections.abc import Sequence
 from contextlib import ExitStack
 from pathlib import Path
+from typing import Any
 
 from repro import miners, obs
 from repro.core.closed import filter_closed, filter_maximal
@@ -229,6 +254,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if args.cost_profile and args.miner != "ptpminer":
         print("--cost-profile requires the ptpminer miner", file=sys.stderr)
         return 2
+    if args.provenance and args.miner != "ptpminer":
+        print("--provenance requires the ptpminer miner", file=sys.stderr)
+        return 2
     try:
         miner = _build_miner(args)
     except (TypeError, ValueError) as exc:
@@ -237,10 +265,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     registry = None
     profiler = None
     cost_collector = None
+    prov_collector = None
     # Ledger entries carry a cost digest when the miner can produce one.
     collect_cost = bool(args.cost_profile or args.ledger_dir) and (
         args.miner == "ptpminer"
     )
+    collect_provenance = bool(args.provenance)
     profile_base = args.profile_out or ("profile" if args.profile else None)
     with ExitStack() as stack:
         if args.metrics_out or args.ledger_dir:
@@ -251,6 +281,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if collect_cost:
             cost_collector = stack.enter_context(
                 obs.costmodel.use_collector()
+            )
+        if collect_provenance:
+            from repro.obs import provenance as obs_provenance
+
+            prov_collector = stack.enter_context(
+                obs_provenance.use_collector()
             )
         if args.trace:
             writer = stack.enter_context(obs.JsonlTraceWriter.open(args.trace))
@@ -299,8 +335,22 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             )
             handle.write("\n")
         print(f"wrote cost profile to {args.cost_profile}", file=sys.stderr)
+    if args.provenance:
+        assert prov_collector is not None  # guarded above
+        with open(args.provenance, "w", encoding="utf-8") as handle:
+            json.dump(
+                prov_collector.snapshot(), handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        print(
+            f"wrote provenance to {args.provenance} (query with "
+            f"'ptpminer explain/why-not ... --provenance "
+            f"{args.provenance}')",
+            file=sys.stderr,
+        )
     if args.ledger_dir:
         from repro.obs import ledger as obs_ledger
+        from repro.obs import provenance as obs_provenance
 
         assert registry is not None
         snapshot = result.metrics or registry.snapshot()
@@ -319,6 +369,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 if cost_collector is not None
                 else None
             ),
+            patterns_digest=obs_provenance.patterns_digest(result.patterns),
+            provenance_path=args.provenance,
         )
         run_ledger = obs_ledger.RunLedger(args.ledger_dir)
         stored = run_ledger.append(entry)
@@ -429,7 +481,7 @@ def _cmd_history(args: argparse.Namespace) -> int:
     run_ledger = obs_ledger.RunLedger(args.ledger_dir)
     entries = run_ledger.entries()
     report = obs_ledger.history_report(
-        entries, tolerance=_tolerance_from_args(args)
+        entries, tolerance=_tolerance_from_args(args), limit=args.limit
     )
     if args.json:
         text = json.dumps(report, indent=2, sort_keys=True) + "\n"
@@ -450,6 +502,12 @@ def _cmd_history(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.obs import ledger as obs_ledger
 
+    if args.patterns:
+        return _cmd_diff_patterns(args)
+    if not args.ledger_dir:
+        print("error: diff needs --ledger-dir (or --patterns with "
+              "provenance snapshot files)", file=sys.stderr)
+        return 2
     run_ledger = obs_ledger.RunLedger(args.ledger_dir)
     try:
         entry_a = run_ledger.find(args.run_a)
@@ -466,6 +524,126 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         text = obs_ledger.render_diff_markdown(diff)
     _emit_text(text, args.out, "run diff")
     return 1 if diff["has_regressions"] else 0
+
+
+_PARSE_HINT = (
+    "hint: patterns are parenthesized pointsets of endpoint tokens, e.g. "
+    '"(A+ B+) (A- B-)" — A+ opens interval A, A- closes it, A. is a '
+    "point event, and A#2+ is the second A occurrence"
+)
+
+
+def _load_provenance(path: str) -> dict[str, Any]:
+    """Load and sanity-check a provenance snapshot file."""
+    from repro.obs import provenance as obs_provenance
+
+    with open(path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if (
+        not isinstance(snapshot, dict)
+        or snapshot.get("kind") != "repro-provenance"
+        or snapshot.get("schema") != obs_provenance.PROVENANCE_SCHEMA_VERSION
+    ):
+        raise ValueError(
+            f"{path} is not a provenance snapshot "
+            "(expected 'mine --provenance' output)"
+        )
+    return snapshot
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import provenance as obs_provenance
+
+    try:
+        snapshot = _load_provenance(args.provenance)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = obs_provenance.explain(snapshot, args.pattern)
+    except ValueError as exc:
+        print(f"error: cannot parse pattern {args.pattern!r}: {exc}",
+              file=sys.stderr)
+        print(_PARSE_HINT, file=sys.stderr)
+        return 2
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    else:
+        text = obs_provenance.render_explain_markdown(report)
+    _emit_text(text, args.out, "explain report")
+    return 0 if report["found"] else 1
+
+
+def _cmd_why_not(args: argparse.Namespace) -> int:
+    from repro.obs import provenance as obs_provenance
+
+    try:
+        snapshot = _load_provenance(args.provenance)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = obs_provenance.why_not(snapshot, args.pattern)
+    except ValueError as exc:
+        print(f"error: cannot parse pattern {args.pattern!r}: {exc}",
+              file=sys.stderr)
+        print(_PARSE_HINT, file=sys.stderr)
+        return 2
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    else:
+        text = obs_provenance.render_why_not_markdown(report)
+    _emit_text(text, args.out, "why-not report")
+    # The pattern IS in the result: signal the caller asked the wrong
+    # question (the report suggests 'ptpminer explain').
+    return 1 if report["status"] == "emitted" else 0
+
+
+def _resolve_provenance_ref(
+    ref: str, ledger_dir: str | None
+) -> dict[str, Any]:
+    """Resolve a ``diff --patterns`` argument to a provenance snapshot.
+
+    ``ref`` is tried as a snapshot file path first; otherwise it is
+    treated as a ledger run id (or unique prefix) whose entry recorded
+    a ``provenance_path`` (``mine --provenance ... --ledger-dir ...``).
+    """
+    if Path(ref).is_file():
+        return _load_provenance(ref)
+    if not ledger_dir:
+        raise ValueError(
+            f"{ref!r} is not a file; resolving it as a ledger run id "
+            "needs --ledger-dir"
+        )
+    from repro.obs import ledger as obs_ledger
+
+    entry = obs_ledger.RunLedger(ledger_dir).find(ref)
+    path = entry.get("provenance_path")
+    if not path:
+        raise ValueError(
+            f"ledger run {entry.get('run_id')} recorded no provenance "
+            "snapshot (mine with --provenance to capture one)"
+        )
+    return _load_provenance(str(path))
+
+
+def _cmd_diff_patterns(args: argparse.Namespace) -> int:
+    from repro.obs import provenance as obs_provenance
+
+    try:
+        snapshot_a = _resolve_provenance_ref(args.run_a, args.ledger_dir)
+        snapshot_b = _resolve_provenance_ref(args.run_b, args.ledger_dir)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = obs_provenance.diff_patterns(snapshot_a, snapshot_b)
+    if args.json:
+        text = json.dumps(diff, indent=2, sort_keys=True) + "\n"
+    else:
+        text = obs_provenance.render_patterns_diff_markdown(diff)
+    _emit_text(text, args.out, "pattern diff")
+    changed = diff["added"] or diff["removed"] or diff["changed_support"]
+    return 1 if changed else 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -604,6 +782,11 @@ def build_parser() -> argparse.ArgumentParser:
     mine_p.add_argument("--cost-profile", metavar="FILE", default=None,
                         help="write the per-root/per-level search cost "
                              "profile as JSON (ptpminer only)")
+    mine_p.add_argument("--provenance", "--explain-out", dest="provenance",
+                        metavar="FILE", default=None,
+                        help="record pattern provenance and prune "
+                             "decisions as JSON for 'ptpminer explain/"
+                             "why-not/diff --patterns' (ptpminer only)")
     mine_p.add_argument("--ledger-dir", metavar="DIR", default=None,
                         help="append this run to the persistent JSONL run "
                              "ledger in DIR (see 'ptpminer history/diff')")
@@ -671,6 +854,10 @@ def build_parser() -> argparse.ArgumentParser:
     history_p.add_argument("--check", action="store_true",
                            help="exit 1 when the latest run of any config "
                                 "fingerprint regressed (for CI)")
+    history_p.add_argument("--limit", type=int, default=None, metavar="N",
+                           help="show only the most recent N runs per "
+                                "config (flags/--check still consider "
+                                "all runs)")
     add_tolerance_args(history_p)
     history_p.set_defaults(func=_cmd_history)
 
@@ -680,17 +867,55 @@ def build_parser() -> argparse.ArgumentParser:
              "deltas, heaviest-root shifts",
     )
     diff_p.add_argument("run_a", help="run id (or unique prefix) of the "
-                                      "baseline run")
+                                      "baseline run; with --patterns, a "
+                                      "provenance snapshot file or a run "
+                                      "id that recorded one")
     diff_p.add_argument("run_b", help="run id (or unique prefix) of the "
-                                      "run to compare")
-    diff_p.add_argument("--ledger-dir", metavar="DIR", required=True,
-                        help="ledger directory (mine --ledger-dir)")
+                                      "run to compare (same forms as "
+                                      "run_a)")
+    diff_p.add_argument("--ledger-dir", metavar="DIR", default=None,
+                        help="ledger directory (mine --ledger-dir); "
+                             "required unless --patterns compares two "
+                             "snapshot files directly")
+    diff_p.add_argument("--patterns", action="store_true",
+                        help="pattern-level diff of two provenance "
+                             "snapshots: added/removed patterns "
+                             "attributed to the prune decisions that "
+                             "changed; exits 1 when the result sets "
+                             "differ")
     diff_p.add_argument("--json", action="store_true",
                         help="emit the diff as JSON instead of markdown")
     diff_p.add_argument("--out", metavar="FILE", default=None,
                         help="write the diff here instead of stdout")
     add_tolerance_args(diff_p)
     diff_p.set_defaults(func=_cmd_diff)
+
+    def add_provenance_query_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("pattern",
+                         help='pattern string, e.g. "(A+ B+) (A- B-)"')
+        cmd.add_argument("--provenance", metavar="FILE", required=True,
+                         help="provenance snapshot (mine --provenance)")
+        cmd.add_argument("--json", action="store_true",
+                         help="emit the report as JSON instead of "
+                              "markdown")
+        cmd.add_argument("--out", metavar="FILE", default=None,
+                         help="write the report here instead of stdout")
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="why is this pattern in the result? support set, witness "
+             "occurrences, pruned siblings (needs mine --provenance)",
+    )
+    add_provenance_query_args(explain_p)
+    explain_p.set_defaults(func=_cmd_explain)
+
+    why_not_p = sub.add_parser(
+        "why-not",
+        help="why is this pattern NOT in the result? pruned-with-rule "
+             "vs never-generated, from the recorded candidate tree",
+    )
+    add_provenance_query_args(why_not_p)
+    why_not_p.set_defaults(func=_cmd_why_not)
 
     lint_p = sub.add_parser(
         "lint",

@@ -40,7 +40,34 @@ from dataclasses import dataclass, field
 from repro import contracts
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["PruningConfig", "PruneCounters"]
+__all__ = ["PRUNE_SITES", "PruningConfig", "PruneCounters"]
+
+#: Every site at which the search kills a candidate or a node, as named
+#: in provenance records (:mod:`repro.obs.provenance`) and the
+#: ``why-not`` CLI. The first three are the paper's pruning techniques;
+#: the rest are the configured search limits.
+#:
+#: ``point``
+#:     A (label, flavour) fell below the threshold before the search.
+#: ``pair``
+#:     The candidate's sym-level pair bound fell below the threshold.
+#: ``postfix_branch``
+#:     The O(1) branch bound abandoned the node's whole subtree.
+#: ``support``
+#:     The candidate's projected support fell below the threshold.
+#: ``max_size`` / ``max_tokens`` / ``max_span``
+#:     A configured limit excluded the candidate (``max_span`` records
+#:     only candidates discovered and then window-rejected; extensions
+#:     beyond the window's postfix scan are never generated at all).
+PRUNE_SITES = (
+    "point",
+    "pair",
+    "postfix_branch",
+    "support",
+    "max_size",
+    "max_tokens",
+    "max_span",
+)
 
 
 @dataclass(frozen=True, slots=True)

@@ -46,6 +46,7 @@ from repro.obs import clock as obs_clock
 from repro.obs import costmodel as obs_costmodel
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
+from repro.obs import provenance as obs_provenance
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsRegistry
 from repro.temporal.endpoint import (
@@ -641,6 +642,19 @@ class PTPMiner:
             + len(point_df)
             - len(keep_point)
         )
+        prov = obs_provenance.active_collector()
+        if prov is not None:
+            # Point pruning runs once, in the parent (shard workers are
+            # handed the already-pruned database), so these records are
+            # never duplicated across shard snapshots.
+            for label in sorted(set(interval_df) - keep_interval):
+                prov.record_pruned_label(
+                    label, "interval", interval_df[label], threshold
+                )
+            for label in sorted(set(point_df) - keep_point):
+                prov.record_pruned_label(
+                    label, "point", point_df[label], threshold
+                )
         if counters.pruned_point_labels == 0:
             return db
         filtered = [
@@ -704,6 +718,11 @@ class PTPMiner:
         tracer = obs_trace.active_tracer()
         progress = obs_progress.active_reporter()
         cost = obs_costmodel.active_collector()
+        prov = obs_provenance.active_collector()
+        # The level-1 root token whose subtree the search is currently
+        # inside — the provenance records' attribution key. A one-cell
+        # list so the dfs closure can rebind it without ``nonlocal``.
+        prov_root = [""]
         obs_on = registry is not None or tracer is not None
         obs_span = obs_trace.span
         states_by_depth: dict[int, int] = {}
@@ -770,6 +789,35 @@ class PTPMiner:
                 validate=False,
             )
 
+        def decode_extended(cand: _Candidate) -> str:
+            """Canonical string of the pattern ``cand`` would extend to.
+
+            Provenance keys killed candidates by the pattern prefix they
+            would have reached, so ``why-not`` can look a queried
+            pattern's generation prefixes straight up in the snapshot.
+            """
+            ext, sym, pocc = cand
+            extended = [list(ps) for ps in pointsets]
+            if ext == _S_EXT or not extended:
+                extended.append([(sym, pocc)])
+            else:
+                extended[-1].append((sym, pocc))
+            return str(
+                TemporalPattern(
+                    (
+                        (encoded.decode_token(tok) for tok in ps)
+                        for ps in extended
+                    ),
+                    validate=False,
+                )
+            )
+
+        def cand_root(cand: _Candidate) -> str:
+            """Root attribution for a candidate killed at this node."""
+            if pointsets:
+                return prov_root[0]
+            return str(encoded.decode_token((cand[1], cand[2])))
+
         def gather_candidates(
             proj: list[tuple[int, tuple[State, ...]]],
             last_token: Optional[tuple[int, int]],
@@ -783,6 +831,12 @@ class PTPMiner:
             # make_pair_ok() so each check is a handful of dict lookups,
             # cached per candidate for the node.
             pair_cache: dict[_Candidate, bool] = {}
+            # Provenance: candidates rejected by the max_span window
+            # during the scan. Recorded after the scan, minus any that
+            # another state *did* discover (those were generated).
+            span_skipped: Optional[set[_Candidate]] = (
+                set() if prov is not None and max_span is not None else None
+            )
             for sid, states in proj:
                 seq = sequences[sid]
                 seq_pointsets = seq.pointsets
@@ -822,6 +876,8 @@ class PTPMiner:
                                     - st.window_start
                                     > max_span + _EPS
                                 ):
+                                    if span_skipped is not None:
+                                        span_skipped.add((_I_EXT, sym, pocc))
                                     continue
                                 found.add((_I_EXT, sym, pocc))
                     # --- S-extensions in the postfix --------------------
@@ -858,6 +914,14 @@ class PTPMiner:
                                         seq.finish_pos[(lab, socc)]
                                     ]
                                     if finish_time - wstart > max_span + _EPS:
+                                        if span_skipped is not None:
+                                            span_skipped.add(
+                                                (
+                                                    _S_EXT,
+                                                    sym,
+                                                    next_occ.get(lab, 0) + 1,
+                                                )
+                                            )
                                         continue
                                 pocc = next_occ.get(lab, 0) + 1
                                 found.add((_S_EXT, sym, pocc))
@@ -872,10 +936,29 @@ class PTPMiner:
                             counters.pruned_pair += 1
                             if obs_on:
                                 pruned_by_ext[cand[0]] += 1
+                            if prov is not None:
+                                prov.record_pruned(
+                                    decode_extended(cand),
+                                    site="pair",
+                                    level=num_tokens + 1,
+                                    root=cand_root(cand),
+                                    threshold=threshold_box[0],
+                                )
                     if not keep:
                         continue
                     weight_of[cand] = weight_of.get(cand, 0.0) + weight
                     sids_of.setdefault(cand, []).append(sid)
+            if prov is not None and span_skipped:
+                # Candidates no state discovered at all: window-rejected
+                # everywhere, so the search never generated them.
+                for cand in sorted(span_skipped):
+                    if cand not in pair_cache:
+                        prov.record_pruned(
+                            decode_extended(cand),
+                            site="max_span",
+                            level=num_tokens + 1,
+                            root=cand_root(cand),
+                        )
             return {
                 cand: (weight_of[cand], sids_of[cand]) for cand in weight_of
             }
@@ -1001,11 +1084,27 @@ class PTPMiner:
                     # most max_weight each can support any descendant.
                     if len(proj) * max_weight + _EPS < threshold_box[0]:
                         counters.pruned_postfix_branches += 1
+                        if prov is not None and num_tokens > 0:
+                            prov.record_pruned(
+                                str(decode_pattern()),
+                                site="postfix_branch",
+                                level=num_tokens,
+                                root=prov_root[0],
+                                support=len(proj) * max_weight,
+                                threshold=threshold_box[0],
+                            )
                         return
                 if (
                     self.max_tokens is not None
                     and num_tokens >= self.max_tokens
                 ):
+                    if prov is not None and num_tokens > 0:
+                        prov.record_pruned(
+                            str(decode_pattern()),
+                            site="max_tokens",
+                            level=num_tokens,
+                            root=prov_root[0],
+                        )
                     return
                 if obs_on:
                     with obs_span("extend", depth=num_tokens):
@@ -1032,6 +1131,15 @@ class PTPMiner:
             for cand in sorted(candidates):
                 weight, sids = candidates[cand]
                 if weight + _EPS < threshold_box[0]:
+                    if prov is not None:
+                        prov.record_pruned(
+                            decode_extended(cand),
+                            site="support",
+                            level=num_tokens + 1,
+                            root=cand_root(cand),
+                            support=_tidy(weight),
+                            threshold=threshold_box[0],
+                        )
                     continue
                 ext, sym, pocc = cand
                 kind = sym % 3
@@ -1041,7 +1149,16 @@ class PTPMiner:
                     and kind != FINISH
                     and num_occurrences >= self.max_size
                 ):
+                    if prov is not None:
+                        prov.record_pruned(
+                            decode_extended(cand),
+                            site="max_size",
+                            level=num_tokens + 1,
+                            root=cand_root(cand),
+                        )
                     continue
+                if prov is not None and at_root:
+                    prov_root[0] = str(encoded.decode_token((sym, pocc)))
                 if cost is not None:
                     if at_root:
                         # Root attribution brackets the whole subtree:
@@ -1095,6 +1212,42 @@ class PTPMiner:
                     results.append(
                         PatternWithSupport(pattern, _tidy(weight))
                     )
+                    if prov is not None:
+                        # Every supporter survives projection of a
+                        # complete pattern (no pending occurrence, so
+                        # dead-state elimination never fires), hence
+                        # new_proj carries the full support set; the
+                        # first state's used-set is one concrete
+                        # embedding — the witness.
+                        supp_sids = [s for s, _sts in new_proj]
+                        if contracts.checking:
+                            contracts.check(
+                                abs(
+                                    sum(weights[s] for s in supp_sids)
+                                    - weight
+                                )
+                                <= 1e-6,
+                                "recorded support set disagrees with the "
+                                "reported support",
+                                details=lambda: (
+                                    f"{pattern}: sids={supp_sids}, "
+                                    f"support={weight}"
+                                ),
+                            )
+                        prov.record_emitted(
+                            str(pattern),
+                            _tidy(weight),
+                            supp_sids,
+                            {
+                                s: [
+                                    (encoded.labels[wlab], wsocc)
+                                    for wlab, wsocc in sts[0].used
+                                ]
+                                for s, sts in new_proj
+                            },
+                            root=prov_root[0],
+                            level=num_tokens,
+                        )
                     if on_emit is not None:
                         on_emit(pattern, weight)
                 dfs(new_proj, (sym, pocc))

@@ -91,6 +91,7 @@ from repro.obs import costmodel as obs_costmodel
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
+from repro.obs import provenance as obs_provenance
 from repro.obs import trace as obs_trace
 
 __all__ = [
@@ -147,6 +148,10 @@ class ShardResult:
     #: Cost-profile snapshot (``CostCollector.snapshot()``), shipped
     #: home exactly like ``metrics`` and absorbed by the parent.
     cost: dict[str, Any] = field(default_factory=dict)
+    #: Provenance snapshot (``ProvenanceCollector.snapshot()``), same
+    #: channel: per-shard records cover disjoint subtrees, so the
+    #: parent's merge is a keyed union, order-independent.
+    provenance: dict[str, Any] = field(default_factory=dict)
 
 
 def plan_shards(
@@ -198,6 +203,7 @@ def _init_worker(
     collect_metrics: bool,
     collect_trace: bool,
     collect_cost: bool = False,
+    collect_provenance: bool = False,
     live_queue: Optional[Any] = None,
     live_interval: float = 0.5,
 ) -> None:
@@ -216,11 +222,13 @@ def _init_worker(
     obs_progress.set_reporter(None)
     obs_live.set_live(None)
     obs_costmodel.set_collector(None)
+    obs_provenance.set_collector(None)
     _WORKER_PAYLOAD["db"] = db
     _WORKER_PAYLOAD["weights"] = list(weights)
     _WORKER_PAYLOAD["collect_metrics"] = collect_metrics
     _WORKER_PAYLOAD["collect_trace"] = collect_trace
     _WORKER_PAYLOAD["collect_cost"] = collect_cost
+    _WORKER_PAYLOAD["collect_provenance"] = collect_provenance
     _WORKER_PAYLOAD["live_publish"] = (
         None if live_queue is None else live_queue.put
     )
@@ -249,6 +257,11 @@ def _run_shard(task: ShardTask) -> ShardResult:
         if _WORKER_PAYLOAD.get("collect_cost")
         else None
     )
+    prov = (
+        obs_provenance.ProvenanceCollector()
+        if _WORKER_PAYLOAD.get("collect_provenance")
+        else None
+    )
     publish = _WORKER_PAYLOAD.get("live_publish")
     sink = (
         None
@@ -269,6 +282,8 @@ def _run_shard(task: ShardTask) -> ShardResult:
             stack.enter_context(obs_trace.use_tracer(collector))
         if cost is not None:
             stack.enter_context(obs_costmodel.use_collector(cost))
+        if prov is not None:
+            stack.enter_context(obs_provenance.use_collector(prov))
         patterns, counters = miner.search_shard(
             db,
             weights,
@@ -290,6 +305,7 @@ def _run_shard(task: ShardTask) -> ShardResult:
         trace_events=collector.events if collector is not None else [],
         elapsed=elapsed,
         cost=cost.snapshot() if cost is not None else {},
+        provenance=prov.snapshot() if prov is not None else {},
     )
 
 
@@ -309,6 +325,7 @@ def _run_process(
     collect_metrics: bool,
     collect_trace: bool,
     collect_cost: bool = False,
+    collect_provenance: bool = False,
     live_queue: Optional[Any] = None,
     live_interval: float = 0.5,
     on_frame: Optional[Callable[[dict[str, Any]], None]] = None,
@@ -330,6 +347,7 @@ def _run_process(
             collect_metrics,
             collect_trace,
             collect_cost,
+            collect_provenance,
             live_queue,
             live_interval,
         ),
@@ -451,6 +469,7 @@ def mine_sharded(
     registry = obs_metrics.active_registry()
     tracer = obs_trace.active_tracer()
     cost = obs_costmodel.active_collector()
+    prov = obs_provenance.active_collector()
     started = obs_clock.now()
     with obs_trace.span(
         "mine",
@@ -496,6 +515,7 @@ def mine_sharded(
                         collect_metrics=registry is not None,
                         collect_trace=tracer is not None,
                         collect_cost=cost is not None,
+                        collect_provenance=prov is not None,
                         live_publish=on_frame,
                         live_interval=(
                             collector.config.interval_s
@@ -522,6 +542,7 @@ def mine_sharded(
                         collect_metrics=registry is not None,
                         collect_trace=tracer is not None,
                         collect_cost=cost is not None,
+                        collect_provenance=prov is not None,
                         live_queue=live_queue,
                         live_interval=(
                             collector.config.interval_s
@@ -547,6 +568,8 @@ def mine_sharded(
                         ).set(result.elapsed)
                     if cost is not None and result.cost:
                         cost.absorb(result.cost)
+                    if prov is not None and result.provenance:
+                        prov.absorb(result.provenance)
                 patterns.sort(key=PatternWithSupport.sort_key)
         finally:
             if manager is not None:
@@ -591,6 +614,7 @@ def _init_payload_inline(
     collect_metrics: bool,
     collect_trace: bool,
     collect_cost: bool = False,
+    collect_provenance: bool = False,
     live_publish: Optional[Callable[[dict[str, Any]], None]] = None,
     live_interval: float = 0.5,
 ) -> None:
@@ -604,6 +628,7 @@ def _init_payload_inline(
     _WORKER_PAYLOAD["collect_metrics"] = collect_metrics
     _WORKER_PAYLOAD["collect_trace"] = collect_trace
     _WORKER_PAYLOAD["collect_cost"] = collect_cost
+    _WORKER_PAYLOAD["collect_provenance"] = collect_provenance
     _WORKER_PAYLOAD["live_publish"] = live_publish
     _WORKER_PAYLOAD["live_interval"] = live_interval
 

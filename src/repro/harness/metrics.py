@@ -20,6 +20,7 @@ from repro.obs import clock as _obs_clock
 from repro.obs import costmodel as _obs_costmodel
 from repro.obs import live as _obs_live
 from repro.obs import metrics as _obs_metrics
+from repro.obs import provenance as _obs_provenance
 
 __all__ = ["RunMetrics", "measure"]
 
@@ -47,6 +48,10 @@ class RunMetrics:
     is provenance stamped by the caller (see
     :func:`repro.obs.ledger.config_fingerprint`) so measured rows can
     be joined against ledger entries; ``measure`` never computes it.
+    ``provenance`` holds the pattern provenance / prune-decision snapshot
+    (:meth:`~repro.obs.provenance.ProvenanceCollector.snapshot`) when
+    ``collect_provenance=True``; callables that never run the
+    instrumented search leave its ``patterns``/``pruned`` maps empty.
     """
 
     result: Any
@@ -58,6 +63,7 @@ class RunMetrics:
     live_summary: Optional[dict[str, Any]] = None
     cost_profile: Optional[dict[str, Any]] = None
     config_fingerprint: Optional[str] = None
+    provenance: Optional[dict[str, Any]] = None
 
     @property
     def peak_mem_mb(self) -> Optional[float]:
@@ -75,6 +81,7 @@ def measure(
     collect_profile: bool = False,
     collect_live: bool = False,
     collect_cost: bool = False,
+    collect_provenance: bool = False,
     workers: int = 1,
     fingerprint: Optional[str] = None,
 ) -> RunMetrics:
@@ -98,6 +105,11 @@ def measure(
     and returns its snapshot in :attr:`RunMetrics.cost_profile` —
     sharded callables merge worker snapshots into it through the engine,
     so the profile is identical to a serial run's.
+    ``collect_provenance=True`` scopes a fresh
+    :class:`~repro.obs.provenance.ProvenanceCollector` the same way and
+    returns its snapshot in :attr:`RunMetrics.provenance` — the engine
+    merges worker snapshots order-independently, so sharded provenance
+    is bit-for-bit equal to a serial run's.
 
     Measurement hygiene — how the flags interact:
 
@@ -116,6 +128,10 @@ def measure(
     * ``collect_cost=True`` adds per-candidate recording inside the
       search (a dict update per frequent candidate); the cost is small
       but real, so benchmark timings keep it off, same as the registry.
+    * ``collect_provenance=True`` records every emitted pattern's
+      support set and every prune decision — the heaviest of the
+      collectors by memory (one entry per candidate), so benchmark
+      timings keep it off too.
     * If tracemalloc is *already tracing* when ``measure`` is called
       (nested ``measure``, or an enclosing
       :func:`~repro.obs.profile.profile_scope`), the inner call reuses
@@ -144,6 +160,7 @@ def measure(
                 collect_obs=collect_obs,
                 collect_live=collect_live,
                 collect_cost=collect_cost,
+                collect_provenance=collect_provenance,
                 fingerprint=fingerprint,
             )
         return RunMetrics(
@@ -156,6 +173,7 @@ def measure(
             inner.live_summary,
             cost_profile=inner.cost_profile,
             config_fingerprint=fingerprint,
+            provenance=inner.provenance,
         )
     if collect_obs:
         with _obs_metrics.use_registry() as registry:
@@ -164,6 +182,7 @@ def measure(
                 track_memory=track_memory,
                 collect_live=collect_live,
                 collect_cost=collect_cost,
+                collect_provenance=collect_provenance,
                 fingerprint=fingerprint,
             )
         return RunMetrics(
@@ -175,9 +194,29 @@ def measure(
             live_summary=inner.live_summary,
             cost_profile=inner.cost_profile,
             config_fingerprint=fingerprint,
+            provenance=inner.provenance,
         )
     if collect_cost:
         with _obs_costmodel.use_collector() as cost_collector:
+            inner = measure(
+                fn,
+                track_memory=track_memory,
+                collect_live=collect_live,
+                collect_provenance=collect_provenance,
+                fingerprint=fingerprint,
+            )
+        return RunMetrics(
+            inner.result,
+            inner.elapsed_s,
+            inner.peak_mem_bytes,
+            workers=workers,
+            live_summary=inner.live_summary,
+            cost_profile=cost_collector.snapshot(),
+            config_fingerprint=fingerprint,
+            provenance=inner.provenance,
+        )
+    if collect_provenance:
+        with _obs_provenance.use_collector() as prov_collector:
             inner = measure(
                 fn,
                 track_memory=track_memory,
@@ -190,8 +229,8 @@ def measure(
             inner.peak_mem_bytes,
             workers=workers,
             live_summary=inner.live_summary,
-            cost_profile=cost_collector.snapshot(),
             config_fingerprint=fingerprint,
+            provenance=prov_collector.snapshot(),
         )
     if collect_live:
         live_config = _obs_live.LiveConfig(render=False)

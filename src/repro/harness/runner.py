@@ -94,6 +94,7 @@ class ExperimentRunner:
         collect_profile: bool = False,
         collect_live: bool = False,
         collect_cost: bool = False,
+        collect_provenance: bool = False,
         workers: int = 1,
         extra: dict | None = None,
     ) -> list[dict]:
@@ -120,6 +121,9 @@ class ExperimentRunner:
         ``collect_cost=True`` scopes a search cost collector around
         each run and attaches its snapshot under the row's ``"cost"``
         key (JSON-encoded in CSV exports).
+        ``collect_provenance=True`` scopes a pattern provenance
+        collector around each run and attaches its snapshot under the
+        row's ``"provenance"`` key, same encoding rules as ``"cost"``.
 
         Every row also carries a ``config_fingerprint`` column — the
         :func:`repro.obs.ledger.config_fingerprint` over the database's
@@ -160,6 +164,7 @@ class ExperimentRunner:
                 collect_profile=collect_profile,
                 collect_live=collect_live,
                 collect_cost=collect_cost,
+                collect_provenance=collect_provenance,
                 workers=workers,
                 fingerprint=fingerprint,
             )
@@ -192,6 +197,8 @@ class ExperimentRunner:
                 row["profile"] = metrics.profile
             if collect_cost and metrics.cost_profile is not None:
                 row["cost"] = metrics.cost_profile
+            if collect_provenance and metrics.provenance is not None:
+                row["provenance"] = metrics.provenance
             if collect_live:
                 summary = metrics.live_summary
                 row["shard_imbalance"] = (

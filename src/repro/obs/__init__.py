@@ -27,6 +27,16 @@ Submodules
     Per-root / per-level search cost attribution: which search-tree
     roots the time, states, and prune work go to, merged
     deterministically across shards (CLI ``mine --cost-profile``).
+:mod:`repro.obs.provenance`
+    Pattern provenance and prune-decision audit: per emitted pattern
+    the supporting sids plus one witness embedding each, per killed
+    candidate the prune site/level/root, merged deterministically
+    across shards (CLI ``mine --provenance``, ``ptpminer explain`` /
+    ``why-not`` / ``diff --patterns``).
+:mod:`repro.obs.seam`
+    The :class:`~repro.obs.seam.CollectorSeam` primitive behind every
+    module-global sink (metrics, costmodel, provenance): ``active()``,
+    ``install()``, and scoped ``scope()`` defined exactly once.
 :mod:`repro.obs.ledger`
     Persistent append-only run ledger with config/environment
     fingerprints and cross-run regression diffing (imported on
@@ -66,9 +76,20 @@ from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.obs import clock, costmodel, live, metrics, progress, trace
+from repro.obs import (
+    clock,
+    costmodel,
+    live,
+    metrics,
+    progress,
+    provenance,
+    seam,
+    trace,
+)
 from repro.obs.costmodel import CostCollector, use_collector
 from repro.obs.live import LiveCollector, LiveConfig, use_live
+from repro.obs.provenance import ProvenanceCollector
+from repro.obs.seam import CollectorSeam
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.progress import ProgressReporter, use_reporter
 from repro.obs.trace import (
@@ -80,6 +101,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CollectorSeam",
     "CostCollector",
     "JsonlTraceWriter",
     "LiveCollector",
@@ -87,6 +109,7 @@ __all__ = [
     "MetricsRegistry",
     "ObsHandles",
     "ProgressReporter",
+    "ProvenanceCollector",
     "TraceCollector",
     "clock",
     "costmodel",
@@ -95,6 +118,8 @@ __all__ = [
     "metrics",
     "observe",
     "progress",
+    "provenance",
+    "seam",
     "span",
     "trace",
     "traced",

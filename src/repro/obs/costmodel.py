@@ -36,8 +36,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-from contextlib import contextmanager
-from typing import Any, Iterator, Mapping, Optional
+from contextlib import AbstractContextManager
+from typing import Any, Mapping, Optional
+
+from repro.obs.seam import CollectorSeam
 
 __all__ = [
     "COST_SCHEMA_VERSION",
@@ -238,31 +240,23 @@ def top_roots(
 
 
 # ----------------------------------------------------------------------
-# installation seam (same shape as repro.obs.metrics)
+# installation seam (shared implementation: repro.obs.seam)
 # ----------------------------------------------------------------------
-_active: Optional[CostCollector] = None
+_seam: CollectorSeam[CostCollector] = CollectorSeam(CostCollector)
 
 
 def active_collector() -> Optional[CostCollector]:
     """The installed collector, or ``None`` when cost tracking is off."""
-    return _active
+    return _seam.active()
 
 
 def set_collector(collector: Optional[CostCollector]) -> None:
     """Install ``collector`` process-wide (``None`` turns tracking off)."""
-    global _active
-    _active = collector
+    _seam.install(collector)
 
 
-@contextmanager
 def use_collector(
     collector: Optional[CostCollector] = None,
-) -> Iterator[CostCollector]:
+) -> AbstractContextManager[CostCollector]:
     """Scope-install a collector (a fresh one by default); restores on exit."""
-    fresh = collector if collector is not None else CostCollector()
-    previous = _active
-    set_collector(fresh)
-    try:
-        yield fresh
-    finally:
-        set_collector(previous)
+    return _seam.scope(collector)

@@ -162,6 +162,8 @@ def build_entry(
     counters: Mapping[str, int],
     phases: Optional[Mapping[str, float]] = None,
     cost_snapshot: Optional[Mapping[str, Any]] = None,
+    patterns_digest: Optional[str] = None,
+    provenance_path: Optional[str] = None,
     top_n: int = DEFAULT_TOP_ROOTS,
     run_id: Optional[str] = None,
     timestamp: Optional[str] = None,
@@ -213,6 +215,15 @@ def build_entry(
             "digest": costmodel.profile_digest(cost_snapshot),
             "top_roots": costmodel.top_roots(cost_snapshot, top_n),
         }
+    if patterns_digest is not None:
+        # Order-independent content hash of the result's pattern set
+        # (:func:`repro.obs.provenance.patterns_digest`): history --check
+        # flags *result-set* drift exactly, not just counter drift.
+        entry["patterns_digest"] = patterns_digest
+    if provenance_path is not None:
+        # Where this run's provenance snapshot was written, so
+        # ``ptpminer diff --patterns`` can join two ledger runs.
+        entry["provenance_path"] = str(provenance_path)
     if timestamp is None:
         timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
     entry["ts"] = timestamp
@@ -376,6 +387,19 @@ def _pair_flags(
                 "detail": "search-space cost profile changed shape",
             }
         )
+    prev_patterns = prev.get("patterns_digest")
+    cur_patterns = cur.get("patterns_digest")
+    if prev_patterns and cur_patterns and prev_patterns != cur_patterns:
+        flags.append(
+            {
+                "metric": "patterns_digest",
+                "severity": "regression",
+                "base": prev_patterns,
+                "fresh": cur_patterns,
+                "detail": "result set drifted (exact content check: "
+                "patterns and supports)",
+            }
+        )
     env_match = dict(prev.get("environment", {})) == dict(
         cur.get("environment", {})
     )
@@ -407,15 +431,18 @@ def history_report(
     entries: list[dict[str, Any]],
     *,
     tolerance: Optional[Tolerance] = None,
+    limit: Optional[int] = None,
 ) -> dict[str, Any]:
     """Trend report over ledger entries, grouped by config fingerprint.
 
     Within a group (entries kept in append order), each consecutive run
-    pair is compared: counters/patterns/cost-digest exactly, wall time
-    with the perf layer's noise tolerance. ``regressions`` collects the
-    hard flags of the *latest* pair of every group — that is what
-    ``ptpminer history --check`` gates on — while older flags stay
-    visible on their runs.
+    pair is compared: counters/patterns/cost-digest/patterns-digest
+    exactly, wall time with the perf layer's noise tolerance.
+    ``regressions`` collects the hard flags of the *latest* pair of
+    every group — that is what ``ptpminer history --check`` gates on —
+    while older flags stay visible on their runs. ``limit`` truncates
+    each group's *displayed* rows to the most recent N **after** flag
+    computation, so ``--check`` semantics are unaffected by it.
     """
     tol = tolerance if tolerance is not None else Tolerance()
     groups: dict[str, list[dict[str, Any]]] = {}
@@ -438,6 +465,7 @@ def history_report(
                     "wall_s": entry.get("wall_s"),
                     "patterns": entry.get("patterns"),
                     "cost_digest": (entry.get("cost") or {}).get("digest"),
+                    "patterns_digest": entry.get("patterns_digest"),
                     "flags": flags,
                 }
             )
@@ -452,6 +480,8 @@ def history_report(
                     regressions.append(record)
                 elif flag["severity"] in ("regression", "warning"):
                     warnings_out.append(record)
+        if limit is not None and limit >= 0:
+            rows = rows[-limit:] if limit else []
         report_groups.append(
             {
                 "fingerprint": fingerprint,

@@ -23,9 +23,11 @@ this repo).
 from __future__ import annotations
 
 from bisect import bisect_left
-from collections.abc import Iterator, Mapping, Sequence
-from contextlib import contextmanager
+from collections.abc import Mapping, Sequence
+from contextlib import AbstractContextManager
 from typing import Any, Optional, Union
+
+from repro.obs.seam import CollectorSeam
 
 __all__ = [
     "Counter",
@@ -276,29 +278,23 @@ def _tidy(value: float) -> float:
     return int(value) if float(value).is_integer() else value
 
 
-_active: Optional[MetricsRegistry] = None
+# Installation seam: one shared implementation (repro.obs.seam) behind
+# the module's established public names.
+_seam: CollectorSeam[MetricsRegistry] = CollectorSeam(MetricsRegistry)
 
 
 def active_registry() -> Optional[MetricsRegistry]:
     """The installed registry, or ``None`` when metrics are off."""
-    return _active
+    return _seam.active()
 
 
 def set_registry(registry: Optional[MetricsRegistry]) -> None:
     """Install ``registry`` process-wide (``None`` turns metrics off)."""
-    global _active
-    _active = registry
+    _seam.install(registry)
 
 
-@contextmanager
 def use_registry(
     registry: Optional[MetricsRegistry] = None,
-) -> Iterator[MetricsRegistry]:
+) -> AbstractContextManager[MetricsRegistry]:
     """Scope-install a registry (a fresh one by default); restores on exit."""
-    fresh = registry if registry is not None else MetricsRegistry()
-    previous = _active
-    set_registry(fresh)
-    try:
-        yield fresh
-    finally:
-        set_registry(previous)
+    return _seam.scope(registry)

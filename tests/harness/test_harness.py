@@ -514,3 +514,74 @@ class TestCollectCost:
         )
         assert "cost" not in row
         assert row["config_fingerprint"]
+
+
+class TestCollectProvenance:
+    def test_measure_attaches_provenance_snapshot(self):
+        db = make_random_db(1, num_sequences=8)
+        miner = PTPMiner(0.4)
+        metrics = measure(
+            lambda: miner.mine(db),
+            track_memory=False,
+            collect_provenance=True,
+        )
+        snap = metrics.provenance
+        assert snap is not None
+        assert snap["kind"] == "repro-provenance"
+        assert set(snap["patterns"]) == {
+            str(item.pattern) for item in metrics.result.patterns
+        }
+
+    def test_provenance_none_by_default(self):
+        assert measure(lambda: 1, track_memory=False).provenance is None
+
+    def test_non_mining_callable_yields_empty_snapshot(self):
+        metrics = measure(
+            lambda: 3, track_memory=False, collect_provenance=True
+        )
+        assert metrics.result == 3
+        assert metrics.provenance == {
+            "schema": 1,
+            "kind": "repro-provenance",
+            "patterns": {},
+            "pruned": {},
+            "labels": {},
+        }
+
+    def test_collect_provenance_composes_with_other_flags(self):
+        from repro.engine import ShardedMiner
+
+        db = make_random_db(1, num_sequences=6)
+        miner = ShardedMiner(min_sup=0.4, workers=2, executor="serial")
+        metrics = measure(
+            lambda: miner.mine(db),
+            collect_obs=True,
+            collect_profile=True,
+            collect_cost=True,
+            collect_provenance=True,
+        )
+        assert metrics.obs is not None
+        assert metrics.profile is not None
+        assert metrics.cost_profile is not None
+        assert metrics.provenance is not None
+        assert metrics.provenance["patterns"]
+
+    def test_run_point_attaches_provenance_row_key(self):
+        db = make_random_db(1, num_sequences=8)
+        runner = ExperimentRunner("demo")
+        (row,) = runner.run_point(
+            db, 0.4, [MinerSpec("ptpminer", lambda ms: PTPMiner(ms))],
+            collect_provenance=True,
+        )
+        assert row["provenance"]["patterns"]
+        # Nested snapshots stay out of rendered tables.
+        header = runner.result.table().splitlines()[2]
+        assert " provenance " not in header
+
+    def test_rows_without_collect_provenance_have_no_key(self):
+        db = make_random_db(1, num_sequences=6)
+        runner = ExperimentRunner("demo")
+        (row,) = runner.run_point(
+            db, 0.4, [MinerSpec("ptp", lambda ms: PTPMiner(ms))]
+        )
+        assert "provenance" not in row

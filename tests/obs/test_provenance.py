@@ -1,0 +1,441 @@
+"""Tests for pattern provenance / prune audit (`repro.obs.provenance`).
+
+The load-bearing properties: absorb() is arrival-order independent
+(bit-for-bit), every recorded support set checks out against the
+brute-force containment oracle (size, membership, *and* witness
+embeddings), and explain / why-not attribute results to the decisions
+the search actually made.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.ptpminer import PTPMiner
+from repro.datagen import standard_dataset
+from repro.model.pattern import TemporalPattern
+from repro.model.sequence import ESequence
+from repro.obs import provenance
+
+
+def canonical(snapshot):
+    return json.dumps(snapshot, sort_keys=True)
+
+
+def make_snapshot(pattern="(A+) (A-)", *, support=3.0, sids=(0, 1, 2)):
+    collector = provenance.ProvenanceCollector()
+    collector.record_emitted(
+        pattern,
+        support,
+        sids,
+        {sid: [("A", 1)] for sid in sids},
+        root="A+",
+        level=2,
+    )
+    return collector.snapshot()
+
+
+class TestCollector:
+    def test_snapshot_shape(self):
+        snap = make_snapshot()
+        assert snap["schema"] == provenance.PROVENANCE_SCHEMA_VERSION
+        assert snap["kind"] == "repro-provenance"
+        entry = snap["patterns"]["(A+) (A-)"]
+        assert entry["support"] == 3.0
+        assert entry["sids"] == [0, 1, 2]
+        assert entry["witnesses"]["0"] == [["A", 1]]
+        assert entry["root"] == "A+" and entry["level"] == 2
+
+    def test_emitted_sids_and_witness_bindings_are_sorted(self):
+        collector = provenance.ProvenanceCollector()
+        collector.record_emitted(
+            "(A+) (A-)",
+            2.0,
+            [5, 1],
+            {5: [("B", 2), ("A", 1)], 1: [("A", 1)]},
+            root="A+",
+            level=2,
+        )
+        entry = collector.snapshot()["patterns"]["(A+) (A-)"]
+        assert entry["sids"] == [1, 5]
+        assert entry["witnesses"]["5"] == [["A", 1], ["B", 2]]
+
+    def test_record_pruned_rejects_unknown_site(self):
+        collector = provenance.ProvenanceCollector()
+        with pytest.raises(ValueError, match="unknown prune site"):
+            collector.record_pruned(
+                "(A+)", site="gremlins", level=1, root="A+"
+            )
+
+    def test_record_pruned_label_keys_by_flavour(self):
+        collector = provenance.ProvenanceCollector()
+        collector.record_pruned_label("A", "interval", 1.0, 2.5)
+        collector.record_pruned_label("A", "point", 0.0, 2.5)
+        labels = collector.snapshot()["labels"]
+        assert set(labels) == {"A/interval", "A/point"}
+        assert labels["A/interval"] == {"df": 1.0, "threshold": 2.5}
+
+    def test_snapshot_is_json_round_trippable(self):
+        snap = make_snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_absorb_rejects_unknown_schema(self):
+        collector = provenance.ProvenanceCollector()
+        with pytest.raises(ValueError):
+            collector.absorb({"schema": 99, "patterns": {}})
+
+    def test_absorb_is_arrival_order_independent(self):
+        shards = [
+            make_snapshot("(A+) (A-)", support=3.0),
+            make_snapshot("(B+) (B-)", support=2.0, sids=(1, 4)),
+            make_snapshot("(C+) (C-)", support=1.0, sids=(2,)),
+        ]
+        merged = []
+        for order in itertools.permutations(shards):
+            collector = provenance.ProvenanceCollector()
+            for snap in order:
+                collector.absorb(snap)
+            merged.append(canonical(collector.snapshot()))
+        assert len(set(merged)) == 1
+
+    def test_absorb_matches_direct_recording(self):
+        direct = provenance.ProvenanceCollector()
+        direct.record_emitted(
+            "(A+) (A-)", 2.0, [0, 3], {0: [("A", 1)], 3: [("A", 2)]},
+            root="A+", level=2,
+        )
+        direct.record_pruned(
+            "(B+)", site="support", level=1, root="B+",
+            support=1.0, threshold=2.0,
+        )
+        direct.record_pruned_label("C", "interval", 0.0, 2.0)
+        shipped = provenance.ProvenanceCollector()
+        shipped.absorb(direct.snapshot())
+        assert canonical(shipped.snapshot()) == canonical(direct.snapshot())
+
+
+class TestPatternsDigest:
+    def test_order_independent_and_content_sensitive(self):
+        a = provenance.patterns_digest([("(A+) (A-)", 3.0), ("(B.)", 2.0)])
+        b = provenance.patterns_digest([("(B.)", 2.0), ("(A+) (A-)", 3.0)])
+        assert a == b
+        assert a != provenance.patterns_digest(
+            [("(A+) (A-)", 4.0), ("(B.)", 2.0)]
+        )
+        assert a != provenance.patterns_digest([("(A+) (A-)", 3.0)])
+
+    def test_accepts_mined_pattern_items(self):
+        db = standard_dataset("tiny")
+        result = PTPMiner.from_config(MinerConfig(min_sup=0.3)).mine(db)
+        from_items = provenance.patterns_digest(result.patterns)
+        from_pairs = provenance.patterns_digest(
+            [(str(item.pattern), item.support) for item in result.patterns]
+        )
+        assert from_items == from_pairs
+
+
+class TestGenerationPrefixes:
+    def test_prefixes_walk_back_to_the_root_token(self):
+        pattern = TemporalPattern.parse("(A+ B+) (A- B-)")
+        prefixes = provenance.generation_prefixes(pattern)
+        assert prefixes[0] == str(pattern.canonical())
+        assert prefixes[-1] == "(A+)"
+        # One prefix per flattened endpoint token.
+        assert len(prefixes) == 4
+
+    def test_single_token_pattern_is_its_own_root(self):
+        pattern = TemporalPattern.parse("(A.)")
+        assert provenance.generation_prefixes(pattern) == ["(A.)"]
+
+
+def query_snapshot():
+    """A hand-built snapshot exercising every why-not status."""
+    collector = provenance.ProvenanceCollector()
+    collector.record_emitted(
+        "(A+) (A-)", 3.0, [0, 1, 2], {0: [("A", 1)]}, root="A+", level=2
+    )
+    collector.record_pruned(
+        "(A+) (A-) (B+)", site="support", level=3, root="A+",
+        support=1.0, threshold=2.0,
+    )
+    collector.record_pruned(
+        "(B+)", site="pair", level=1, root="B+", threshold=2.0
+    )
+    collector.record_pruned_label("Z", "interval", 1.0, 2.0)
+    return collector.snapshot()
+
+
+class TestExplain:
+    def test_found_report_carries_evidence_and_siblings(self):
+        snap = query_snapshot()
+        report = provenance.explain(snap, "(A+) (A-)")
+        assert report["found"] is True
+        assert report["support"] == 3.0
+        assert report["sids"] == [0, 1, 2]
+        assert report["witnesses"]["0"] == [["A", 1]]
+        assert report["root"] == "A+" and report["level"] == 2
+        # (B+) shares the empty parent prefix with nothing — the only
+        # same-parent pruned sibling of a level-2 pattern is one whose
+        # parent is "(A+)"; none here, so the list is empty.
+        assert report["pruned_siblings"] == []
+
+    def test_sibling_attribution_joins_on_parent_prefix(self):
+        collector = provenance.ProvenanceCollector()
+        collector.record_emitted(
+            "(A+) (A- B+) (B-)", 3.0, [0], {0: [("A", 1), ("B", 1)]},
+            root="A+", level=4,
+        )
+        collector.record_pruned(
+            "(A+) (A- B.)", site="support", level=3, root="A+",
+            support=1.0, threshold=2.0,
+        )
+        report = provenance.explain(
+            collector.snapshot(), "(A+) (A- B+)"
+        )
+        # The queried pattern is absent but parseable: found=False.
+        assert report["found"] is False
+        report = provenance.explain(
+            collector.snapshot(), "(A+) (A- B+) (B-)"
+        )
+        assert report["found"]
+
+    def test_malformed_pattern_raises_value_error(self):
+        with pytest.raises(ValueError):
+            provenance.explain(query_snapshot(), "A+ B")
+
+
+class TestWhyNot:
+    def test_emitted(self):
+        report = provenance.why_not(query_snapshot(), "(A+) (A-)")
+        assert report["status"] == "emitted"
+        assert report["support"] == 3.0
+
+    def test_pruned_directly(self):
+        report = provenance.why_not(query_snapshot(), "(A+) (A-) (B+)")
+        assert report["status"] == "pruned"
+        assert report["decision"]["site"] == "support"
+        assert report["decision"]["support"] == 1.0
+
+    def test_prefix_pruned(self):
+        report = provenance.why_not(
+            query_snapshot(), "(A+) (A-) (B+) (B-)"
+        )
+        assert report["status"] == "prefix_pruned"
+        assert report["prefix"] == "(A+) (A-) (B+)"
+        assert report["decision"]["site"] == "support"
+
+    def test_label_pruned_checks_needed_flavours(self):
+        report = provenance.why_not(query_snapshot(), "(Z+) (Z-)")
+        assert report["status"] == "label_pruned"
+        assert report["labels"][0]["label"] == "Z"
+        assert report["labels"][0]["flavour"] == "interval"
+        # The *point* flavour of Z was not pruned, so a point query
+        # falls through to the generation-path walk instead.
+        assert provenance.why_not(query_snapshot(), "(Z.)")[
+            "status"
+        ] == "never_generated"
+
+    def test_never_generated(self):
+        report = provenance.why_not(query_snapshot(), "(Q+) (Q-)")
+        assert report["status"] == "never_generated"
+
+    def test_malformed_pattern_raises_value_error(self):
+        with pytest.raises(ValueError):
+            provenance.why_not(query_snapshot(), "(not a token)")
+
+
+class TestDiffPatterns:
+    def test_attributes_additions_and_removals(self):
+        a = query_snapshot()
+        collector = provenance.ProvenanceCollector()
+        collector.record_emitted(
+            "(A+) (A-)", 2.0, [0, 1], {0: [("A", 1)]}, root="A+", level=2
+        )
+        collector.record_emitted(
+            "(A+) (A-) (B+)", 2.0, [0, 1], {0: [("A", 1), ("B", 1)]},
+            root="A+", level=3,
+        )
+        b = collector.snapshot()
+        diff = provenance.diff_patterns(a, b)
+        assert diff["counts"] == {"a": 1, "b": 2}
+        (added,) = diff["added"]
+        assert added["pattern"] == "(A+) (A-) (B+)"
+        assert added["was"]["status"] == "pruned"
+        assert diff["removed"] == []
+        (changed,) = diff["changed_support"]
+        assert changed["pattern"] == "(A+) (A-)"
+        assert (changed["support_a"], changed["support_b"]) == (3.0, 2.0)
+
+    def test_identical_snapshots_diff_empty(self):
+        a = query_snapshot()
+        diff = provenance.diff_patterns(a, a)
+        assert diff["added"] == []
+        assert diff["removed"] == []
+        assert diff["changed_support"] == []
+
+
+class TestMarkdownRenderers:
+    def test_explain_markdown(self):
+        text = provenance.render_explain_markdown(
+            provenance.explain(query_snapshot(), "(A+) (A-)")
+        )
+        assert "# explain `(A+) (A-)`" in text
+        assert "support: **3.0**" in text
+        assert "| 0 | A#1 |" in text
+
+    def test_explain_markdown_not_found(self):
+        text = provenance.render_explain_markdown(
+            provenance.explain(query_snapshot(), "(Q+) (Q-)")
+        )
+        assert "Not in this run's result set" in text
+
+    def test_why_not_markdown_renders_each_status(self):
+        snap = query_snapshot()
+        assert "It **is** in the result set" in (
+            provenance.render_why_not_markdown(
+                provenance.why_not(snap, "(A+) (A-)")
+            )
+        )
+        assert "site `support`" in provenance.render_why_not_markdown(
+            provenance.why_not(snap, "(A+) (A-) (B+)")
+        )
+        assert "died first" in provenance.render_why_not_markdown(
+            provenance.why_not(snap, "(A+) (A-) (B+) (B-)")
+        )
+        assert "point-pruned" in provenance.render_why_not_markdown(
+            provenance.why_not(snap, "(Z+) (Z-)")
+        )
+        assert "Never generated" in provenance.render_why_not_markdown(
+            provenance.why_not(snap, "(Q+) (Q-)")
+        )
+
+    def test_diff_markdown(self):
+        diff = provenance.diff_patterns(query_snapshot(), query_snapshot())
+        text = provenance.render_patterns_diff_markdown(diff)
+        assert "Result sets are identical" in text
+
+
+class TestSeam:
+    def test_disabled_by_default(self):
+        assert provenance.active_collector() is None
+
+    def test_use_collector_installs_and_restores(self):
+        outer = provenance.ProvenanceCollector()
+        with provenance.use_collector(outer) as got:
+            assert got is outer
+            assert provenance.active_collector() is outer
+            with provenance.use_collector() as inner:
+                assert inner is not outer
+                assert provenance.active_collector() is inner
+            assert provenance.active_collector() is outer
+        assert provenance.active_collector() is None
+
+    def test_restores_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with provenance.use_collector():
+                raise RuntimeError("boom")
+        assert provenance.active_collector() is None
+
+
+class TestMiningOracle:
+    """Brute-force cross-checks of recorded evidence on tiny DBs.
+
+    Every claim a snapshot makes is re-derivable from the raw data:
+    support sets against the containment oracle, witnesses as concrete
+    embeddings, and the emitted key set against the mining result.
+    """
+
+    @pytest.fixture(scope="class", params=["tiny", "hybrid"])
+    def mined(self, request):
+        db = standard_dataset(request.param, num_sequences=25)
+        mode = "htp" if request.param == "hybrid" else "tp"
+        config = MinerConfig(min_sup=0.3, mode=mode)
+        with provenance.use_collector() as collector:
+            result = PTPMiner.from_config(config).mine(db)
+        return db, result, collector.snapshot()
+
+    def test_emitted_keys_equal_the_result_set(self, mined):
+        _db, result, snap = mined
+        assert set(snap["patterns"]) == {
+            str(item.pattern) for item in result.patterns
+        }
+        for item in result.patterns:
+            assert snap["patterns"][str(item.pattern)]["support"] == (
+                item.support
+            )
+
+    def test_support_sets_match_the_containment_oracle(self, mined):
+        db, _result, snap = mined
+        for key, entry in snap["patterns"].items():
+            pattern = TemporalPattern.parse(key)
+            oracle_sids = [
+                seq.sid for seq in db if pattern.contained_in(seq)
+            ]
+            assert entry["sids"] == oracle_sids
+            # Unweighted DB: support equals the support-set size.
+            assert entry["support"] == len(entry["sids"])
+
+    def test_witnesses_are_real_embeddings(self, mined):
+        # Witness occurrence indices refer to the *mined* database —
+        # after point pruning — which the snapshot's own `labels` map
+        # lets us reconstruct from the raw data.
+        db, _result, snap = mined
+        dropped = set(snap["labels"])
+        for key, entry in snap["patterns"].items():
+            pattern = TemporalPattern.parse(key)
+            for sid_text, binding in entry["witnesses"].items():
+                seq = db[int(sid_text)]
+                mined_seq = ESequence(
+                    event
+                    for event in seq
+                    if (
+                        f"{event.label}/"
+                        f"{'point' if event.is_point else 'interval'}"
+                    )
+                    not in dropped
+                )
+                by_occ = {
+                    (event.label, occ): event
+                    for event, occ in mined_seq.occurrence_indexed()
+                }
+                events = [
+                    by_occ[(label, occ)] for label, occ in binding
+                ]
+                # One event per pattern occurrence, and the restricted
+                # sequence realizes the full arrangement.
+                assert len(events) == pattern.size
+                assert pattern.contained_in(ESequence(events))
+
+    def test_pruned_candidates_are_absent_from_the_result(self, mined):
+        _db, result, snap = mined
+        emitted = {str(item.pattern) for item in result.patterns}
+        assert not (set(snap["pruned"]) & emitted)
+
+    def test_support_site_kills_agree_with_the_oracle(self, mined):
+        db, result, snap = mined
+        threshold = result.threshold
+        for key, decision in snap["pruned"].items():
+            if decision["site"] != "support":
+                continue
+            assert decision["support"] < decision["threshold"]
+            pattern = TemporalPattern.parse(key)
+            try:
+                pattern.to_esequence()
+            except ValueError:
+                # Incomplete candidate (open intervals): its projected
+                # support is prefix-constrained, and the free
+                # containment oracle legitimately counts more matches.
+                continue
+            assert pattern.support_in(db) < threshold
+
+    def test_why_not_round_trips_on_pruned_candidates(self, mined):
+        _db, _result, snap = mined
+        pruned = snap["pruned"]
+        if not pruned:
+            pytest.skip("no pruned candidates recorded at this min_sup")
+        key = sorted(pruned)[0]
+        report = provenance.why_not(snap, key)
+        assert report["status"] == "pruned"
+        assert report["decision"] == pruned[key]

@@ -686,3 +686,265 @@ class TestReportGracefulDegradation:
                      "--metrics", str(metrics),
                      "--live-log", str(log)]) == 0
         assert "## Notes" not in capsys.readouterr().out
+
+
+class TestProvenanceFlag:
+    def mine_with_provenance(self, tiny_file, path, *extra):
+        return main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--provenance", str(path), *extra])
+
+    def test_mine_writes_provenance_snapshot(self, tiny_file, tmp_path,
+                                             capsys):
+        import json
+
+        prov_path = tmp_path / "prov.json"
+        assert self.mine_with_provenance(tiny_file, prov_path) == 0
+        err = capsys.readouterr().err
+        assert "wrote provenance to" in err
+        snap = json.loads(prov_path.read_text())
+        assert snap["kind"] == "repro-provenance"
+        assert snap["patterns"]
+        # Every recorded support set checks out against its support.
+        for entry in snap["patterns"].values():
+            assert len(entry["sids"]) == entry["support"]
+            assert set(entry["witnesses"]) == {
+                str(sid) for sid in entry["sids"]
+            }
+
+    def test_explain_out_alias(self, tiny_file, tmp_path, capsys):
+        prov_path = tmp_path / "prov.json"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--explain-out", str(prov_path)]) == 0
+        capsys.readouterr()
+        assert prov_path.is_file()
+
+    def test_provenance_identical_serial_vs_workers(self, tiny_file,
+                                                    tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        assert self.mine_with_provenance(tiny_file, serial) == 0
+        assert self.mine_with_provenance(
+            tiny_file, sharded, "--workers", "4"
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_text() == sharded.read_text()
+
+    def test_provenance_requires_ptpminer(self, tiny_file, tmp_path,
+                                          capsys):
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--miner", "tprefixspan",
+                     "--provenance", str(tmp_path / "p.json")]) == 2
+        assert "--provenance" in capsys.readouterr().err
+
+    def test_ledger_entry_carries_digest_and_path(self, tiny_file,
+                                                  tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        prov_path = tmp_path / "prov.json"
+        ledger_dir = tmp_path / "ledger"
+        assert self.mine_with_provenance(
+            tiny_file, prov_path, "--ledger-dir", str(ledger_dir)
+        ) == 0
+        capsys.readouterr()
+        (entry,) = RunLedger(ledger_dir).entries()
+        assert entry["provenance_path"] == str(prov_path)
+        assert len(entry["patterns_digest"]) == 16
+
+    def test_patterns_digest_recorded_without_provenance_file(
+        self, tiny_file, tmp_path, capsys
+    ):
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir = tmp_path / "ledger"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--ledger-dir", str(ledger_dir)]) == 0
+        capsys.readouterr()
+        (entry,) = RunLedger(ledger_dir).entries()
+        assert len(entry["patterns_digest"]) == 16
+        assert "provenance_path" not in entry
+
+
+class TestExplainSubcommand:
+    @pytest.fixture
+    def prov_file(self, tiny_file, tmp_path, capsys):
+        path = tmp_path / "prov.json"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--provenance", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_explain_emitted_pattern(self, prov_file, capsys):
+        assert main(["explain", "(e0+) (e0-)",
+                     "--provenance", str(prov_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# explain `(e0+) (e0-)`" in out
+        assert "Witnesses" in out
+
+    def test_explain_missing_pattern_exits_one(self, prov_file, capsys):
+        assert main(["explain", "(zz+) (zz-)",
+                     "--provenance", str(prov_file)]) == 1
+        assert "why-not" in capsys.readouterr().out
+
+    def test_explain_malformed_pattern_exits_two_with_hint(
+        self, prov_file, capsys
+    ):
+        assert main(["explain", "e0+ e0-",
+                     "--provenance", str(prov_file)]) == 2
+        err = capsys.readouterr().err
+        assert "hint:" in err
+        assert "(A+ B+) (A- B-)" in err
+
+    def test_explain_json_output(self, prov_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "explain.json"
+        assert main(["explain", "(e0+) (e0-)",
+                     "--provenance", str(prov_file),
+                     "--json", "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        report = json.loads(out_path.read_text())
+        assert report["kind"] == "repro-explain"
+        assert report["found"] is True
+        assert report["sids"]
+
+    def test_explain_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["explain", "(e0+) (e0-)",
+                     "--provenance", str(tmp_path / "nope.json")]) == 2
+        assert "nope.json" in capsys.readouterr().err
+
+    def test_explain_rejects_non_provenance_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "something-else"}')
+        assert main(["explain", "(e0+) (e0-)",
+                     "--provenance", str(bad)]) == 2
+        assert "not a provenance snapshot" in capsys.readouterr().err
+
+
+class TestWhyNotSubcommand:
+    @pytest.fixture
+    def prov_file(self, tiny_file, tmp_path, capsys):
+        path = tmp_path / "prov.json"
+        assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                     "--provenance", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_why_not_on_absent_pattern(self, prov_file, capsys):
+        assert main(["why-not", "(zz+) (zz-)",
+                     "--provenance", str(prov_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# why-not `(zz+) (zz-)`" in out
+
+    def test_why_not_attributes_a_recorded_kill(self, prov_file, capsys):
+        import json
+
+        snap = json.loads(prov_file.read_text())
+        pruned = sorted(snap["pruned"])
+        assert pruned, "expected recorded prune decisions on tiny"
+        assert main(["why-not", pruned[0],
+                     "--provenance", str(prov_file)]) == 0
+        out = capsys.readouterr().out
+        assert "generated and killed" in out
+
+    def test_why_not_on_emitted_pattern_exits_one(self, prov_file,
+                                                  capsys):
+        assert main(["why-not", "(e0+) (e0-)",
+                     "--provenance", str(prov_file)]) == 1
+        assert "ptpminer explain" in capsys.readouterr().out
+
+    def test_why_not_malformed_pattern_exits_two(self, prov_file,
+                                                 capsys):
+        assert main(["why-not", "broken((",
+                     "--provenance", str(prov_file)]) == 2
+        assert "hint:" in capsys.readouterr().err
+
+
+class TestDiffPatternsSubcommand:
+    def mine_prov(self, tiny_file, path, min_sup, *extra):
+        assert main(["mine", str(tiny_file), "--min-sup", str(min_sup),
+                     "--provenance", str(path), *extra]) == 0
+
+    def test_identical_runs_exit_zero(self, tiny_file, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        self.mine_prov(tiny_file, a, 0.3)
+        self.mine_prov(tiny_file, b, 0.3)
+        capsys.readouterr()
+        assert main(["diff", "--patterns", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "Result sets are identical" in out
+
+    def test_threshold_change_attributed_exit_one(self, tiny_file,
+                                                  tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        self.mine_prov(tiny_file, a, 0.3)
+        self.mine_prov(tiny_file, b, 0.6)
+        capsys.readouterr()
+        assert main(["diff", "--patterns", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "## Removed in B" in out
+        assert "site `" in out or "point-pruned" in out
+
+    def test_resolves_ledger_run_ids(self, tiny_file, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir = tmp_path / "ledger"
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        self.mine_prov(tiny_file, a, 0.3, "--ledger-dir", str(ledger_dir))
+        self.mine_prov(tiny_file, b, 0.3, "--ledger-dir", str(ledger_dir))
+        capsys.readouterr()
+        run_a, run_b = [
+            e["run_id"] for e in RunLedger(ledger_dir).entries()
+        ]
+        assert main(["diff", "--patterns", run_a, run_b,
+                     "--ledger-dir", str(ledger_dir)]) == 0
+        capsys.readouterr()
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["diff", "--patterns", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 2
+        assert "not a file" in capsys.readouterr().err
+
+    def test_plain_diff_still_requires_ledger_dir(self, capsys):
+        assert main(["diff", "run-a", "run-b"]) == 2
+        assert "--ledger-dir" in capsys.readouterr().err
+
+
+class TestHistoryLimitAndDigest:
+    @pytest.fixture
+    def ledger_dir(self, tiny_file, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        for _ in range(3):
+            assert main(["mine", str(tiny_file), "--min-sup", "0.3",
+                         "--ledger-dir", str(ledger_dir)]) == 0
+        capsys.readouterr()
+        return ledger_dir
+
+    def test_limit_truncates_displayed_rows(self, ledger_dir, tmp_path,
+                                            capsys):
+        import json
+
+        out_path = tmp_path / "history.json"
+        assert main(["history", "--ledger-dir", str(ledger_dir),
+                     "--limit", "1", "--json",
+                     "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        report = json.loads(out_path.read_text())
+        (group,) = report["groups"]
+        assert len(group["runs"]) == 1
+
+    def test_check_flags_patterns_digest_drift(self, ledger_dir, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(ledger_dir)
+        last = dict(ledger.entries()[-1])
+        last["run_id"] = "drifted-run"
+        last["patterns_digest"] = "0" * 16
+        ledger.append(last)
+        assert main(["history", "--ledger-dir", str(ledger_dir),
+                     "--check"]) == 1
+        captured = capsys.readouterr()
+        assert "patterns_digest" in captured.out
+        assert "result set drifted" in captured.out

@@ -26,6 +26,7 @@ from repro.engine import (
 from repro.model.database import ESequenceDatabase
 from repro.obs import costmodel as obs_costmodel
 from repro.obs import live as obs_live
+from repro.obs import provenance as obs_provenance
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.clock import ManualClock, clock_scope
@@ -288,6 +289,58 @@ class TestCostProfileMerge:
         )
         assert result.patterns
         assert obs_costmodel.active_collector() is None
+
+
+class TestProvenanceMerge:
+    """Merged provenance must be bit-for-bit identical to a serial run's.
+
+    Every pattern and every candidate node lives in exactly one shard
+    (the parent records the root-level decisions once in ``plan_root``),
+    so the merged snapshot is a keyed union over disjoint keys — equal
+    as JSON for any worker count, executor, and arrival order.
+    """
+
+    @staticmethod
+    def serial_snapshot(db, config):
+        with obs_provenance.use_collector() as collector:
+            PTPMiner.from_config(config).mine(db)
+        return collector.snapshot()
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    @pytest.mark.parametrize("executor", sorted(EXECUTORS))
+    def test_sharded_provenance_is_bit_for_bit_serial(
+        self, tiny_db, workers, executor
+    ):
+        config = MinerConfig(min_sup=0.3)
+        serial = self.serial_snapshot(tiny_db, config)
+        with obs_provenance.use_collector() as collector:
+            mine_sharded(
+                tiny_db, config, workers=workers, executor=executor
+            )
+        assert json.dumps(
+            collector.snapshot(), sort_keys=True
+        ) == json.dumps(serial, sort_keys=True)
+
+    def test_constrained_config_still_merges_identically(self, hybrid_db):
+        # max_span/max_size kills and htp point handling land in worker
+        # shards; the merge must still reproduce the serial snapshot.
+        config = MinerConfig(
+            min_sup=0.2, mode="htp", max_span=8.0, max_size=3
+        )
+        serial = self.serial_snapshot(hybrid_db, config)
+        with obs_provenance.use_collector() as collector:
+            mine_sharded(hybrid_db, config, workers=3, executor="serial")
+        assert json.dumps(
+            collector.snapshot(), sort_keys=True
+        ) == json.dumps(serial, sort_keys=True)
+
+    def test_no_collector_means_no_shipped_provenance(self, tiny_db):
+        assert obs_provenance.active_collector() is None
+        result = mine_sharded(
+            tiny_db, MinerConfig(min_sup=0.3), workers=2, executor="serial"
+        )
+        assert result.patterns
+        assert obs_provenance.active_collector() is None
 
 
 class TestShardedMiner:

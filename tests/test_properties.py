@@ -190,3 +190,50 @@ def test_sharded_engine_on_randomized_synthetic_dbs(seed, workers):
     sharded = mine_sharded(db, config, workers=workers, executor="serial")
     assert sharded.patterns == serial.patterns
     assert sharded.counters == serial.counters
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    db=interval_db_st,
+    workers=st.sampled_from([1, 2, 3, 4]),
+    min_sup=st.sampled_from([0.25, 0.5]),
+)
+def test_sharded_provenance_equals_serial(db, workers, min_sup):
+    """Provenance snapshots are bit-for-bit serial == sharded on
+    arbitrary databases: every pattern's support set / witnesses and
+    every prune decision land identically for any worker count."""
+    import json
+
+    from repro.core.config import MinerConfig
+    from repro.engine import mine_sharded
+    from repro.obs import provenance as obs_provenance
+
+    config = MinerConfig(min_sup=min_sup)
+    with obs_provenance.use_collector() as serial_collector:
+        PTPMiner.from_config(config).mine(db)
+    with obs_provenance.use_collector() as sharded_collector:
+        mine_sharded(db, config, workers=workers, executor="serial")
+    assert json.dumps(
+        sharded_collector.snapshot(), sort_keys=True
+    ) == json.dumps(serial_collector.snapshot(), sort_keys=True)
+
+
+@settings(max_examples=3, deadline=None)
+@given(db=interval_db_st, workers=st.sampled_from([2, 3]))
+def test_sharded_provenance_equals_serial_process_executor(db, workers):
+    """Same guarantee across real process boundaries (snapshots are
+    pickled home inside ShardResult and absorbed by the parent)."""
+    import json
+
+    from repro.core.config import MinerConfig
+    from repro.engine import mine_sharded
+    from repro.obs import provenance as obs_provenance
+
+    config = MinerConfig(min_sup=0.25)
+    with obs_provenance.use_collector() as serial_collector:
+        PTPMiner.from_config(config).mine(db)
+    with obs_provenance.use_collector() as sharded_collector:
+        mine_sharded(db, config, workers=workers, executor="process")
+    assert json.dumps(
+        sharded_collector.snapshot(), sort_keys=True
+    ) == json.dumps(serial_collector.snapshot(), sort_keys=True)

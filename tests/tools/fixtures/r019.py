@@ -1,0 +1,44 @@
+"""R019 fixture: provenance records flow only through the seam.
+
+Linted under the synthetic path ``src/repro/core/demo19.py`` so the
+production pass scoping (every non-test repro module except
+``repro.obs.provenance`` itself) applies directly.
+"""
+
+from repro.obs.provenance import (
+    ProvenanceCollector,
+    active_collector,
+    use_collector,
+)
+
+
+def bad_inline_construction(pattern):
+    ProvenanceCollector().record_pruned(  # expect: R019
+        pattern, site="support", level=1, root="A+"
+    )
+
+
+def bad_ad_hoc_instance(pattern, sids):
+    collector = ProvenanceCollector()
+    collector.record_emitted(  # expect: R019
+        pattern, 3.0, sids, {}, root="A+", level=2
+    )
+    return collector.snapshot()
+
+
+def bad_attribute_receiver(self_like, label):
+    self_like.prov.record_pruned_label(  # expect: R019
+        label, "interval", 1.0, 2.0
+    )
+
+
+def ok_hoisted_active(pattern):
+    prov = active_collector()
+    if prov is not None:
+        prov.record_pruned(pattern, site="pair", level=2, root="A+")
+
+
+def ok_scoped_use(pattern, sids):
+    with use_collector() as prov:
+        prov.record_emitted(pattern, 3.0, sids, {}, root="A+", level=2)
+        return prov.snapshot()

@@ -39,6 +39,7 @@ FIXTURES = {
     "r016.py": "src/repro/core/demo16.py",
     "r017.py": "src/repro/core/demo17.py",
     "r018.py": "src/repro/obs/demo18.py",
+    "r019.py": "src/repro/core/demo19.py",
 }
 
 _EXPECT_RE = re.compile(r"#\s*expect:\s*(R\d{3})")
@@ -279,9 +280,9 @@ class TestDataflow:
 
 
 class TestDriverAndBudget:
-    def test_catalog_is_contiguous_r001_to_r018(self):
+    def test_catalog_is_contiguous_r001_to_r019(self):
         assert sorted(rule_catalog(deep=True)) == [
-            f"R{i:03d}" for i in range(1, 19)
+            f"R{i:03d}" for i in range(1, 20)
         ]
         assert sorted(rule_catalog(deep=False)) == [
             f"R{i:03d}" for i in range(1, 10)

@@ -18,6 +18,7 @@ from tools.repro_lint.passes.boundary import BoundaryPass
 from tools.repro_lint.passes.coverage import CoveragePass
 from tools.repro_lint.passes.determinism import DeterminismPass
 from tools.repro_lint.passes.ledger import LedgerPass
+from tools.repro_lint.passes.provenance import ProvenancePass
 from tools.repro_lint.passes.purity import PurityPass
 from tools.repro_lint.passes.suppressions import SUPPRESSION_RULES, audit
 
@@ -29,6 +30,7 @@ __all__ = [
     "CoveragePass",
     "DeterminismPass",
     "LedgerPass",
+    "ProvenancePass",
     "PurityPass",
 ]
 
@@ -40,6 +42,7 @@ ALL_PASSES = (
     PurityPass(),
     CoveragePass(),
     LedgerPass(),
+    ProvenancePass(),
 )
 
 #: code -> one-line summary for every deep rule, R017 included. The

@@ -48,6 +48,7 @@ MERGE_SEEDS = (
     "repro.obs.metrics.MetricsRegistry.absorb",
     "repro.obs.metrics.MetricsRegistry.absorb_snapshot",
     "repro.obs.costmodel.CostCollector.absorb",
+    "repro.obs.provenance.ProvenanceCollector.absorb",
     "repro.obs.live.LiveAggregator.ingest",
     "repro.obs.live.LiveAggregator.summary",
     "repro.obs.live.LiveAggregator.eta_s",
@@ -66,6 +67,7 @@ MERGE_MODULES = (
     "repro.obs.live",
     "repro.obs.trace",
     "repro.obs.costmodel",
+    "repro.obs.provenance",
 )
 
 _EMITTING_METHODS = frozenset({"append", "extend", "insert"})

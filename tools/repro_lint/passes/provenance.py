@@ -1,0 +1,135 @@
+"""Provenance record-path audit (R019).
+
+Pattern provenance (:mod:`repro.obs.provenance`) promises two things:
+recording is *free when disabled* (one hoisted ``active_collector()``
+local plus an ``is not None`` guard per hook) and sharded snapshots
+merge bit-for-bit with serial runs (disjoint keyed unions). Both break
+if instrumentation sites construct or fetch collectors ad hoc: a
+``ProvenanceCollector()`` built inline records into an object nobody
+snapshots, and a per-call ``active_collector()`` lookup inside a hot
+loop silently re-introduces overhead the A/B benchmark gates out.
+
+This pass flags, in every non-test ``repro`` module except
+``repro.obs.provenance`` itself, any call to a provenance record method
+(``record_emitted`` / ``record_pruned`` / ``record_pruned_label``)
+whose receiver is not a plain name bound from the collector seam — an
+``active_collector()`` assignment or a ``with use_collector(...) as
+name:`` binding (``enter_context(use_collector(...))`` counts too).
+
+The binding scan is module-wide by design: the miner hoists ``prov =
+active_collector()`` once per search and records through closures, so
+scoping bindings per-function would flag the sanctioned pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.repro_lint.engine import FileContext, Violation
+from tools.repro_lint.graph import ProjectGraph
+
+__all__ = ["ProvenancePass", "PROVENANCE_MODULE"]
+
+#: The one module allowed to touch collector internals directly.
+PROVENANCE_MODULE = "repro.obs.provenance"
+
+#: The ProvenanceCollector mutation surface.
+_RECORD_METHODS = frozenset(
+    {"record_emitted", "record_pruned", "record_pruned_label"}
+)
+
+#: Seam entry points whose result is a sanctioned collector binding.
+_SEAM_CALLS = frozenset({"active_collector", "use_collector"})
+
+
+def _call_name(expr: ast.expr) -> str | None:
+    """Terminal callable name of ``expr`` when it is a call, else None.
+
+    Unwraps ``enter_context(...)`` / ``stack.enter_context(...)`` so
+    ``prov = stack.enter_context(use_collector())`` resolves to
+    ``use_collector``.
+    """
+    if not isinstance(expr, ast.Call):
+        return None
+    func = expr.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name == "enter_context" and expr.args:
+        return _call_name(expr.args[0])
+    return name
+
+
+def _seam_bound_names(tree: ast.AST) -> set[str]:
+    """Names bound (anywhere in the module) from a seam call."""
+    bound: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            if value is not None and _call_name(value) in _SEAM_CALLS:
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    _call_name(item.context_expr) in _SEAM_CALLS
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    bound.add(item.optional_vars.id)
+    return bound
+
+
+class ProvenancePass:
+    """R019: provenance records flow only through the collector seam."""
+
+    name = "provenance"
+    rules = {
+        "R019": (
+            "provenance recorded outside the collector seam "
+            "(active_collector/use_collector binding)"
+        ),
+    }
+
+    def run(self, graph: ProjectGraph) -> list[Violation]:
+        """Audit every non-test repro module except provenance itself."""
+        out: list[Violation] = []
+        for module in sorted(graph.modules):
+            info = graph.modules[module]
+            ctx = info.ctx
+            if not ctx.in_repro_src or ctx.is_test:
+                continue
+            if module == PROVENANCE_MODULE:
+                continue
+            out.extend(self._scan_module(ctx))
+        return out
+
+    def _scan_module(self, ctx: FileContext) -> Iterator[Violation]:
+        seam_names = _seam_bound_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RECORD_METHODS
+            ):
+                continue
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and (
+                receiver.id in seam_names
+            ):
+                continue
+            yield ctx.violation(
+                node,
+                "R019",
+                f".{node.func.attr}() on a receiver not bound from the "
+                "provenance seam; hoist `prov = active_collector()` (or "
+                "`with use_collector() as prov:`) and record through "
+                "that local so disabled runs stay free and snapshots "
+                "stay mergeable",
+            )
