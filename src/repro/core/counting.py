@@ -105,3 +105,16 @@ class PairTables:
         ``b`` in the same pointset (symmetric; normalized internally)."""
         key = (a, b) if a <= b else (b, a)
         return self._i_pair.get(key, 0.0)
+
+    def stats(self) -> dict[str, int]:
+        """Occupied cell counts (``s_pairs`` / ``i_pairs``) per table.
+
+        Density figures for profiling: dividing by the number of
+        possible cells (``n*n`` for S-pairs, ``n*(n+1)/2`` for the
+        normalized I-pairs) says how constraining pair pruning can be
+        on this dataset.
+        """
+        return {
+            "s_pairs": len(self._s_pair),
+            "i_pairs": len(self._i_pair),
+        }

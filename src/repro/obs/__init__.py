@@ -41,6 +41,16 @@ Submodules
     Persistent append-only run ledger with config/environment
     fingerprints and cross-run regression diffing (imported on
     demand; CLI ``mine --ledger-dir``, ``ptpminer history``/``diff``).
+:mod:`repro.obs.planner`
+    Predictive shard planning: dataset/workload profiler, per-root
+    cost forecasts calibrated from ledger history (static-feature
+    fallback), LPT vs round-robin assignment comparison, and the
+    post-run plan-vs-actual calibration record (imported on demand;
+    CLI ``ptpminer plan``, ``mine --shard-strategy predicted``).
+:mod:`repro.obs.warnonce`
+    Once-per-file warning dedup shared by every reader that skips
+    garbage lines (trace, live log, ledger), so joined sources don't
+    repeat the same corruption warning.
 :mod:`repro.obs.chrometrace`
     Chrome trace-event / Perfetto exporter for JSONL span traces
     (imported on demand; run as ``python -m repro.obs.chrometrace``).

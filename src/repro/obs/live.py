@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import json
 import sys
-import warnings
 from collections.abc import Callable, Iterator, Mapping
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -48,6 +47,7 @@ from pathlib import Path
 from typing import Any, Optional, TextIO, Union
 
 from repro.obs import clock as _clock
+from repro.obs.warnonce import warn_once
 
 __all__ = [
     "LiveAggregator",
@@ -587,6 +587,10 @@ def read_live_log(path: Union[str, Path]) -> list[LiveFrame]:
     Undecodable lines — the truncated tail of a killed run, editor
     garbage — are skipped with a single :class:`UserWarning` naming the
     count, never a crash, so ``ptpminer report`` works on partial runs.
+    The warning fires once per *file* per process
+    (:mod:`repro.obs.warnonce`): ``build_run_report`` reads the same
+    live log for the summary and again for the shard lanes, and used to
+    warn twice about the same truncated tail.
     """
     frames: list[LiveFrame] = []
     bad = 0
@@ -600,11 +604,11 @@ def read_live_log(path: Union[str, Path]) -> list[LiveFrame]:
             except (ValueError, KeyError, TypeError):
                 bad += 1
     if bad:
-        warnings.warn(
+        warn_once(
+            path,
             f"{path}: skipped {bad} undecodable live-log line(s) "
             "(truncated or corrupt run?)",
             UserWarning,
-            stacklevel=2,
         )
     return frames
 

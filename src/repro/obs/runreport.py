@@ -1,16 +1,21 @@
-"""Unified run reports: join a trace, metrics snapshot, and live log.
+"""Unified run reports: join a run's observability artifacts.
 
-``ptpminer report`` turns the observability artifacts one ``mine`` run
-can emit — a JSONL span trace (``--trace``), a metrics snapshot
-(``--metrics-out``), and a live frame log (``--live-log``) — into one
-markdown (or JSON) report: a phase table, per-shard utilization with an
-imbalance figure, the prune funnel, and straggler callouts. Any subset
-of the three sources works: sections without data are omitted and the
-report instead carries a ``notes`` list saying *why* each section is
-absent (source not given vs. given but empty), so a partial report is
-an answer, not an error. Both
-trace and live-log parsers tolerate the truncated tails of killed runs
-(see :func:`repro.obs.trace.read_trace` /
+``ptpminer report`` turns the artifacts one ``mine`` run can emit — a
+JSONL span trace (``--trace``), a metrics snapshot (``--metrics-out``),
+a live frame log (``--live-log``), a cost profile (``--cost-profile``),
+a provenance snapshot (``--provenance``), and a shard plan
+(``--plan-out``) — into one markdown (or JSON) report: a phase table,
+per-shard utilization with an imbalance figure, the prune funnel,
+straggler callouts, the realized heaviest-roots table (so plan-vs-shard
+load reads in one place), a provenance summary, and — when both a plan
+and a cost profile are given — a **Plan vs actual** section joining the
+forecast against realized per-root cost (share-MAPE, rank correlation,
+worst miss) and predicted against realized imbalance. Any subset of the
+sources works: sections without data are omitted and the report instead
+carries a ``notes`` list saying *why* each section is absent (source
+not given vs. given but empty), so a partial report is an answer, not
+an error. The trace and live-log parsers tolerate the truncated tails
+of killed runs (see :func:`repro.obs.trace.read_trace` /
 :func:`repro.obs.live.read_live_log`).
 
 The shard section prefers the live frame log (it has roots/patterns/rss
@@ -33,6 +38,9 @@ __all__ = [
     "build_run_report",
     "render_markdown",
 ]
+
+#: Rows shown in the realized heaviest-roots table.
+_TOP_ROOTS_SHOWN = 10
 
 #: ``search.*`` counter suffixes in funnel order: work done, then what
 #: each pruning stage removed, then what survived.
@@ -128,11 +136,23 @@ def _imbalance(busies: Sequence[float]) -> Optional[float]:
     return round(max(positive) / mean, 6)
 
 
+def _load_json_object(path: str, what: str) -> dict[str, Any]:
+    """Load a JSON file that must hold an object (caller-error raise)."""
+    with open(path, encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    if not isinstance(loaded, dict):
+        raise ValueError(f"{path}: expected a {what} object")
+    return loaded
+
+
 def build_run_report(
     *,
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
     live_log_path: Optional[str] = None,
+    cost_path: Optional[str] = None,
+    provenance_path: Optional[str] = None,
+    plan_path: Optional[str] = None,
     straggler_factor: float = 0.5,
 ) -> dict[str, Any]:
     """Join the given artifacts into one JSON-ready report dict.
@@ -145,29 +165,40 @@ def build_run_report(
     through :class:`repro.obs.live.LiveAggregator` (rendering off) with
     ``straggler_factor``, so the report's straggler callouts use the
     same rule as the live display.
+
+    ``cost_path`` (a ``--cost-profile`` snapshot) adds the realized
+    heaviest-roots table; ``provenance_path`` a pattern/prune-record
+    summary; ``plan_path`` (a ``ptpminer plan`` / ``--plan-out``
+    PlanReport) the predicted imbalance — and, combined with the cost
+    profile, the full plan-vs-actual calibration section.
     """
-    if not (trace_path or metrics_path or live_log_path):
+    if not (
+        trace_path
+        or metrics_path
+        or live_log_path
+        or cost_path
+        or provenance_path
+        or plan_path
+    ):
         raise ValueError(
             "build_run_report needs at least one of trace_path, "
-            "metrics_path, live_log_path"
+            "metrics_path, live_log_path, cost_path, provenance_path, "
+            "plan_path"
         )
     report: dict[str, Any] = {
         "sources": {
             "trace": trace_path,
             "metrics": metrics_path,
             "live_log": live_log_path,
+            "cost": cost_path,
+            "provenance": provenance_path,
+            "plan": plan_path,
         }
     }
     notes: list[str] = []
     snapshot: Optional[Mapping[str, Any]] = None
     if metrics_path is not None:
-        with open(metrics_path, encoding="utf-8") as handle:
-            loaded = json.load(handle)
-        if not isinstance(loaded, dict):
-            raise ValueError(
-                f"{metrics_path}: expected a metrics snapshot object"
-            )
-        snapshot = loaded
+        snapshot = _load_json_object(metrics_path, "metrics snapshot")
     events: list[dict[str, Any]] = []
     if trace_path is not None:
         events = read_trace(trace_path)
@@ -233,6 +264,56 @@ def build_run_report(
             )
     elif live_log_path is None:
         notes.append("shard table omitted: no live log or trace given")
+    cost_snapshot: Optional[dict[str, Any]] = None
+    if cost_path is not None:
+        from repro.obs import costmodel
+
+        cost_snapshot = _load_json_object(cost_path, "cost profile")
+        heavy = costmodel.top_roots(cost_snapshot, _TOP_ROOTS_SHOWN)
+        if heavy:
+            report["heaviest_roots"] = heavy
+        else:
+            notes.append(
+                "heaviest-roots table omitted: the cost profile "
+                "records no roots"
+            )
+    else:
+        notes.append("heaviest-roots table omitted: no cost profile given")
+    if provenance_path is not None:
+        prov = _load_json_object(provenance_path, "provenance snapshot")
+        report["provenance"] = {
+            "patterns": len(dict(prov.get("patterns", {}))),
+            "pruned": len(dict(prov.get("pruned", {}))),
+            "labels": len(dict(prov.get("labels", {}))),
+        }
+    plan: Optional[dict[str, Any]] = None
+    if plan_path is not None:
+        from repro.obs import planner
+
+        plan = planner.load_plan(plan_path)
+        assignments = dict(plan.get("assignments", {}))
+        section: dict[str, Any] = {
+            "predictor": dict(plan.get("predictor", {})),
+            "predicted_imbalance": {
+                strategy: dict(entry).get("predicted_imbalance")
+                for strategy, entry in sorted(assignments.items())
+            },
+            "realized_imbalance": report.get("shard_imbalance"),
+        }
+        if cost_snapshot is not None:
+            section["calibration"] = planner.calibration_record(
+                plan, cost_snapshot
+            )
+        else:
+            notes.append(
+                "plan-vs-actual calibration omitted: a plan was given "
+                "but no cost profile to compare it against"
+            )
+        report["plan_vs_actual"] = section
+    elif cost_path is not None:
+        notes.append(
+            "plan-vs-actual section omitted: no shard plan given"
+        )
     if notes:
         report["notes"] = notes
     return report
@@ -360,6 +441,80 @@ def render_markdown(report: Mapping[str, Any]) -> str:
                 )
         else:
             lines.append("None detected.")
+        lines.append("")
+    heavy = report.get("heaviest_roots")
+    if heavy:
+        lines.append("## Heaviest roots (realized)")
+        lines.append("")
+        lines.extend(
+            _markdown_table(
+                (
+                    "root",
+                    "wall (s)",
+                    "states",
+                    "nodes expanded",
+                    "patterns",
+                ),
+                [
+                    (
+                        f"`{row.get('root')}`",
+                        row.get("wall_s"),
+                        row.get("states_created"),
+                        row.get("nodes_expanded"),
+                        row.get("patterns_emitted"),
+                    )
+                    for row in heavy
+                ],
+            )
+        )
+        lines.append("")
+    plan_section = report.get("plan_vs_actual")
+    if plan_section:
+        lines.append("## Plan vs actual")
+        lines.append("")
+        predictor = dict(plan_section.get("predictor", {}))
+        lines.append(
+            f"- predictor: {predictor.get('source')} "
+            f"({predictor.get('history_runs', 0)} ledger run(s))"
+        )
+        predicted = dict(plan_section.get("predicted_imbalance", {}))
+        for strategy in sorted(predicted):
+            value = predicted[strategy]
+            lines.append(
+                f"- predicted imbalance ({strategy}): "
+                f"{_format_cell(value)}"
+            )
+        lines.append(
+            "- realized imbalance: "
+            f"{_format_cell(plan_section.get('realized_imbalance'))}"
+        )
+        calibration = plan_section.get("calibration")
+        if calibration:
+            lines.append(
+                f"- forecast share-MAPE: "
+                f"{_format_cell(calibration.get('mape'))}, "
+                f"rank correlation: "
+                f"{_format_cell(calibration.get('rank_corr'))} "
+                f"(over {calibration.get('roots_matched')} roots, "
+                f"actual = {calibration.get('actual_metric')})"
+            )
+            worst = calibration.get("worst_miss")
+            if worst:
+                lines.append(
+                    f"- worst miss: `{worst.get('root')}` predicted "
+                    f"share {_format_cell(worst.get('predicted_share'))} "
+                    f"vs actual {_format_cell(worst.get('actual_share'))}"
+                )
+        lines.append("")
+    provenance = report.get("provenance")
+    if provenance:
+        lines.append("## Provenance summary")
+        lines.append("")
+        lines.append(
+            f"- {provenance.get('patterns')} pattern record(s), "
+            f"{provenance.get('pruned')} prune record(s), "
+            f"{provenance.get('labels')} label(s)"
+        )
         lines.append("")
     funnel = report.get("prune_funnel")
     if funnel:

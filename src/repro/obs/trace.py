@@ -32,7 +32,6 @@ exception (the exception type name); the exception always propagates.
 from __future__ import annotations
 
 import json
-import warnings
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from functools import wraps
@@ -41,6 +40,7 @@ from typing import Any, Optional, Protocol, TextIO, TypeVar, Union, overload
 
 from repro.obs import clock as _clock
 from repro.obs import metrics as _metrics
+from repro.obs.warnonce import warn_once
 
 __all__ = [
     "JsonlTraceWriter",
@@ -141,7 +141,9 @@ def read_trace(path: Union[str, Path]) -> list[dict[str, Any]]:
     are skipped with a single :class:`UserWarning` naming the count
     instead of a crash, so ``ptpminer report`` and the Chrome-trace
     exporter work on partial traces. Lines that decode to something
-    other than an object are treated the same way.
+    other than an object are treated the same way. The warning fires
+    once per *file* per process (:mod:`repro.obs.warnonce`), so joined
+    readers re-reading the same trace do not repeat it.
     """
     events: list[dict[str, Any]] = []
     bad = 0
@@ -160,11 +162,11 @@ def read_trace(path: Union[str, Path]) -> list[dict[str, Any]]:
                 continue
             events.append(event)
     if bad:
-        warnings.warn(
+        warn_once(
+            path,
             f"{path}: skipped {bad} undecodable trace line(s) "
             "(truncated or corrupt run?)",
             UserWarning,
-            stacklevel=2,
         )
     return events
 

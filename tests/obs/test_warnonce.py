@@ -1,0 +1,111 @@
+"""Tests for once-per-file warning dedup (`repro.obs.warnonce`).
+
+Regression for the joined-sources case: `ptpminer report` (and any
+other tool) may read the same garbage-bearing file through several
+reader calls; the corruption warning must fire once per *file*, not
+once per call.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.obs import warnonce
+from repro.obs.ledger import RunLedger, build_entry
+from repro.obs.live import read_live_log
+from repro.obs.trace import read_trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_seen():
+    warnonce.reset()
+    yield
+    warnonce.reset()
+
+
+def caught(fn, *args):
+    with warnings.catch_warnings(record=True) as seen:
+        warnings.simplefilter("always")
+        fn(*args)
+    return seen
+
+
+class TestWarnOnce:
+    def test_second_call_is_suppressed(self):
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            assert warnonce.warn_once("/tmp/x", "boom") is True
+            assert warnonce.warn_once("/tmp/x", "boom") is False
+        assert len(seen) == 1
+
+    def test_distinct_paths_and_categories_warn_independently(self):
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            warnonce.warn_once("/tmp/a", "boom")
+            warnonce.warn_once("/tmp/b", "boom")
+            warnonce.warn_once("/tmp/a", "boom", RuntimeWarning)
+        assert len(seen) == 3
+
+    def test_symlink_aliases_collapse_to_one_warning(self, tmp_path):
+        real = tmp_path / "real.jsonl"
+        real.write_text("x\n", encoding="utf-8")
+        alias = tmp_path / "alias.jsonl"
+        alias.symlink_to(real)
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            warnonce.warn_once(str(real), "boom")
+            warnonce.warn_once(str(alias), "boom")
+        assert len(seen) == 1
+
+    def test_reset_rearms(self):
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            warnonce.warn_once("/tmp/x", "boom")
+            warnonce.reset()
+            warnonce.warn_once("/tmp/x", "boom")
+        assert len(seen) == 2
+
+
+class TestReadersWarnOncePerFile:
+    def test_trace_reader(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        assert len(caught(read_trace, path)) == 1
+        assert len(caught(read_trace, path)) == 0
+
+    def test_live_log_reader(self, tmp_path):
+        path = tmp_path / "frames.jsonl"
+        path.write_text("{}\ngarbage\n", encoding="utf-8")
+        assert len(caught(read_live_log, path)) == 1
+        assert len(caught(read_live_log, path)) == 0
+
+    def test_ledger_entries(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(
+            build_entry(
+                dataset_digest="d", miner="ptpminer", min_sup=0.3,
+                mode="tp", wall_s=0.1, patterns=1, counters={},
+            )
+        )
+        with open(ledger.path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 999}\n')
+        assert len(caught(ledger.entries)) == 1
+        # A second read — e.g. `history` after `plan` consulted the
+        # same ledger — stays silent.
+        assert len(caught(ledger.entries)) == 0
+
+    def test_joined_report_sources_do_not_repeat(self, tmp_path):
+        # The original bug: runreport reads the live log, then the
+        # trace fallback path (or a second report invocation in the
+        # same process) reads it again.
+        log = tmp_path / "frames.jsonl"
+        log.write_text('{"kind": "frame"}\nnot json\n', encoding="utf-8")
+        from repro.obs.runreport import build_run_report
+
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            build_run_report(live_log_path=str(log))
+            build_run_report(live_log_path=str(log))
+        assert len(seen) == 1

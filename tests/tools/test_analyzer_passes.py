@@ -40,6 +40,7 @@ FIXTURES = {
     "r017.py": "src/repro/core/demo17.py",
     "r018.py": "src/repro/obs/demo18.py",
     "r019.py": "src/repro/core/demo19.py",
+    "r020.py": "src/repro/obs/demo20.py",
 }
 
 _EXPECT_RE = re.compile(r"#\s*expect:\s*(R\d{3})")
@@ -280,9 +281,9 @@ class TestDataflow:
 
 
 class TestDriverAndBudget:
-    def test_catalog_is_contiguous_r001_to_r019(self):
+    def test_catalog_is_contiguous_r001_to_r020(self):
         assert sorted(rule_catalog(deep=True)) == [
-            f"R{i:03d}" for i in range(1, 20)
+            f"R{i:03d}" for i in range(1, 21)
         ]
         assert sorted(rule_catalog(deep=False)) == [
             f"R{i:03d}" for i in range(1, 10)

@@ -1,4 +1,4 @@
-"""Run-ledger write-path audit (R018).
+"""Run-ledger write-path audit (R018, R020).
 
 The run ledger (:mod:`repro.obs.ledger`) is append-only and
 schema-versioned; those guarantees only hold if every write goes
@@ -21,6 +21,15 @@ a choke point — and unrelated writes (reports, traces, metrics) never
 match. The heuristic is name-based by design: ledger paths in this
 codebase always flow through ``ledger_dir``/``ledger_path`` variables
 or the literal ``ledger.jsonl`` filename.
+
+R020 guards the layer above the file: entries appended to a ledger
+must be assembled by :func:`repro.obs.ledger.build_entry`, which stamps
+the schema version and normalises the cost/plan/calibration blocks.
+A dict literal passed straight to ``.append(...)`` on a ledger receiver
+would freeze whatever fields the call site happened to write — the
+schema bump that added ``cost.roots`` and the calibration record would
+silently miss such entries, and ``entries()`` would then warn on (or
+misread) them forever. Flagged in the same modules R018 scans.
 """
 
 from __future__ import annotations
@@ -78,12 +87,15 @@ def _write_mode(call: ast.Call, *, mode_arg_index: int) -> bool:
 
 
 class LedgerPass:
-    """R018: ledger files are written only via ``RunLedger.append``."""
+    """R018/R020: ledger writes flow through the append/build_entry API."""
 
     name = "ledger"
     rules = {
         "R018": (
             "ledger file written outside the repro.obs.ledger append API"
+        ),
+        "R020": (
+            "ledger entry built as a dict literal instead of build_entry"
         ),
     }
 
@@ -145,4 +157,19 @@ class LedgerPass:
                     f".{func.attr}() on a ledger path outside "
                     "repro.obs.ledger rewrites the file wholesale; "
                     "append entries through RunLedger.append()",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "append"
+                and _mentions_ledger(func.value)
+                and node.args
+                and isinstance(node.args[0], (ast.Dict, ast.DictComp))
+            ):
+                yield ctx.violation(
+                    node,
+                    "R020",
+                    "dict literal appended to a ledger; assemble the "
+                    "entry with repro.obs.ledger.build_entry() so the "
+                    "schema version and cost/plan/calibration blocks "
+                    "stay consistent",
                 )
